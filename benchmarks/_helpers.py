@@ -1,0 +1,33 @@
+"""Shared helpers and constants for the benchmark harness."""
+
+#: Device-location datasets evaluated in Table 3 (13 rows).
+TABLE3_DATASETS = [
+    ("EchoDot4", "US"),
+    ("EchoDot4", "JP"),
+    ("EchoDot4", "DE"),
+    ("HomeMini", "US"),
+    ("HomeMini", "JP"),
+    ("HomeMini", "DE"),
+    ("WyzeCam", "US"),
+    ("WyzeCam", "JP"),
+    ("WyzeCam", "DE"),
+    ("Home", "US"),
+    ("EchoDot3", "US"),
+    ("E4", "US"),
+    ("Blink", "US"),
+]
+
+#: Devices classified with ML (rule devices SP10/WP3/Nest-E excluded, §4).
+ML_DEVICES = ["EchoDot4", "HomeMini", "WyzeCam", "Home", "EchoDot3", "E4", "Blink"]
+
+
+def print_table(title, header, rows):
+    """Render one reproduced table to stdout (shown with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,57 @@
+"""§6 tolerance experiment: how slow can FIAT be before breaking devices?
+
+The paper injects synthetic latency into the humanness validation and
+finds every testbed device tolerates up to two seconds of extra delay,
+because the endpoints' TCP absorbs it via timeouts and retransmission.
+This bench sweeps added delay, combines it with the measured validation
+latency distributions, and reports the fraction of commands that would
+be impaired per scenario.
+"""
+
+import numpy as np
+
+from repro.core import (
+    LAN_SCENARIO,
+    MOBILE_SCENARIO,
+    TCP_TOLERANCE_S,
+    command_impaired,
+    validation_breakdown,
+)
+from repro.quic import Transport
+
+from benchmarks._helpers import print_table
+
+
+def test_ablation_delay_tolerance(benchmark):
+    rng = np.random.default_rng(0)
+
+    def impaired_fraction(scenario, added_delay_s, n=60):
+        impaired = 0
+        for _ in range(n):
+            components = validation_breakdown(scenario, Transport.QUIC_0RTT, rng)
+            total_extra = components["time_to_validation"] / 1000.0 + added_delay_s
+            impaired += command_impaired(total_extra)
+        return impaired / n
+
+    benchmark.pedantic(lambda: impaired_fraction(LAN_SCENARIO, 1.0), rounds=1, iterations=1)
+
+    rows = []
+    results = {}
+    for delay in (0.0, 0.5, 1.0, 1.5, 1.8, 2.5, 3.0):
+        lan = impaired_fraction(LAN_SCENARIO, delay)
+        mobile = impaired_fraction(MOBILE_SCENARIO, delay)
+        results[delay] = (lan, mobile)
+        rows.append((f"{delay:.1f}s", f"{lan:.2f}", f"{mobile:.2f}"))
+    print_table(
+        "Ablation — added validation delay vs impaired commands "
+        f"(paper: all devices tolerate {TCP_TOLERANCE_S:.0f} s extra delay)",
+        ("added delay", "impaired (LAN)", "impaired (mobile)"),
+        rows,
+    )
+
+    # Below ~1.5 s everything still works; past the TCP tolerance
+    # commands start failing.
+    assert results[0.0] == (0.0, 0.0)
+    assert results[1.0][0] == 0.0
+    assert results[3.0][0] == 1.0
+    assert results[3.0][1] == 1.0

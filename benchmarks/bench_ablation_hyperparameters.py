@@ -1,0 +1,88 @@
+"""Ablation: the paper's §4.1 hyperparameter explorations.
+
+Reproduces the two sweeps the paper describes for the distance-based
+models: the NCC distance metric (Euclidean / Manhattan / Chebyshev —
+Chebyshev was best on the paper's traffic) and kNN's k from 3 to 15
+with different metrics (Euclidean k=5 best there).
+"""
+
+import numpy as np
+
+from repro import ml
+from repro.features import event_labels, events_to_matrix
+
+from benchmarks._helpers import ML_DEVICES, print_table
+
+
+def _matrices(labeled_event_sets):
+    out = []
+    for device in ML_DEVICES[:4]:
+        events = labeled_event_sets[(device, "US")]
+        X = ml.StandardScaler().fit_transform(events_to_matrix(events))
+        out.append((X, event_labels(events)))
+    return out
+
+
+def test_ablation_ncc_metric(benchmark, labeled_event_sets):
+    matrices = _matrices(labeled_event_sets)
+
+    def score(metric):
+        return float(
+            np.mean(
+                [
+                    ml.cross_validate(
+                        ml.NearestCentroidClassifier(metric=metric), X, y, n_splits=5, seed=0
+                    )["mean"]
+                    for X, y in matrices
+                ]
+            )
+        )
+
+    benchmark.pedantic(lambda: score("euclidean"), rounds=1, iterations=1)
+    results = {metric: score(metric) for metric in ("euclidean", "manhattan", "chebyshev")}
+    print_table(
+        "Ablation — NCC distance metric (paper: Chebyshev best on its traffic)",
+        ("metric", "balanced accuracy"),
+        [(m, f"{s:.3f}") for m, s in results.items()],
+    )
+    assert max(results.values()) > 0.8
+
+
+def test_ablation_knn_k(benchmark, labeled_event_sets):
+    matrices = _matrices(labeled_event_sets)
+
+    def score(k, metric):
+        return float(
+            np.mean(
+                [
+                    ml.cross_validate(
+                        ml.KNeighborsClassifier(n_neighbors=k, metric=metric),
+                        X,
+                        y,
+                        n_splits=5,
+                        seed=0,
+                    )["mean"]
+                    for X, y in matrices
+                ]
+            )
+        )
+
+    benchmark.pedantic(lambda: score(5, "euclidean"), rounds=1, iterations=1)
+
+    rows = []
+    best = (None, 0.0)
+    for metric in ("euclidean", "manhattan"):
+        for k in (3, 5, 9, 15):
+            s = score(k, metric)
+            rows.append((metric, k, f"{s:.3f}"))
+            if s > best[1]:
+                best = ((metric, k), s)
+    print_table(
+        "Ablation — kNN k and metric sweep (paper: Euclidean, k = 5 best)",
+        ("metric", "k", "balanced accuracy"),
+        rows,
+    )
+    # Small k beats large k on the scarce manual class.
+    small = score(3, "euclidean")
+    large = score(15, "euclidean")
+    assert small >= large - 0.02

@@ -1,0 +1,69 @@
+"""Ablation: IAT quantisation resolution of the bucket heuristic.
+
+The paper matches inter-arrival times exactly; our implementation
+quantises them into bins (default 0.25 s, ±1 neighbour bin).  Sweeping
+the resolution over two orders of magnitude shows the heuristic is
+*insensitive* to the choice — a finding worth documenting: bucket
+identity already includes the exact packet size, so unpredictable
+traffic (near-unique sizes → 1-2 packets per bucket) can never
+accumulate repeated IATs no matter how coarse the bins, while periodic
+flows produce so many samples per bucket that repeats survive even
+needlessly fine bins.  The resolution only matters at the margins
+(drifting timers whose sizes repeat, like the Nest's wakeups).
+"""
+
+from repro.net import FlowDefinition, TrafficClass
+from repro.predictability import analyze_trace
+
+from benchmarks._helpers import print_table
+
+
+def test_ablation_iat_resolution(benchmark, testbed_household):
+    trace = testbed_household.trace
+    dns = testbed_household.cloud.dns
+
+    def measure(resolution):
+        report = analyze_trace(trace, FlowDefinition.PORTLESS, dns=dns,
+                               resolution=resolution)
+        control = []
+        manual = []
+        nest = report.devices["Nest-E"].class_fraction(TrafficClass.CONTROL)
+        for entry in report.devices.values():
+            c = entry.class_fraction(TrafficClass.CONTROL)
+            m = entry.class_fraction(TrafficClass.MANUAL)
+            if c is not None:
+                control.append(c)
+            if m is not None:
+                manual.append(m)
+        return (
+            sum(control) / len(control),
+            sum(manual) / len(manual) if manual else 0.0,
+            nest,
+        )
+
+    benchmark.pedantic(lambda: measure(0.25), rounds=1, iterations=1)
+
+    rows = []
+    results = {}
+    for resolution in (0.01, 0.05, 0.25, 1.0, 5.0):
+        control, manual, nest = measure(resolution)
+        results[resolution] = (control, manual, nest)
+        rows.append(
+            (f"{resolution:.2f}s", f"{control:.3f}", f"{manual:.3f}", f"{nest:.3f}")
+        )
+    print_table(
+        "Ablation — IAT quantisation resolution (default 0.25 s): the "
+        "heuristic is size-dominated and robust to the bin width",
+        ("resolution", "control predictable", "manual 'predictable'", "Nest-E control"),
+        rows,
+    )
+
+    # Robustness: control stays ~0.98 and manual stays low across the
+    # full sweep — the design choice is not load-bearing.
+    for control, manual, _ in results.values():
+        assert control > 0.95
+        assert manual < 0.5
+    # The coarsest bins may only ever *increase* apparent predictability
+    # (more matches), never decrease it.
+    assert results[5.0][0] >= results[0.01][0] - 1e-9
+    assert results[5.0][2] >= results[0.25][2] - 1e-9

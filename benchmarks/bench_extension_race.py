@@ -1,0 +1,70 @@
+"""Extension bench: event-driven proof-vs-command race (§6, end-to-end).
+
+Where Table 7 compares component latencies, this bench simulates the
+actual mechanism: the proxy holds manual-event packets until the
+humanness proof validates.  Reports, per operation and scenario, the
+proof's win rate and the latency FIAT *adds* to commands — zero in the
+paper's deployment ("no noticeable impact on the user experience").
+"""
+
+from repro.core import (
+    LAN_SCENARIO,
+    MOBILE_SCENARIO,
+    TABLE7_OPERATIONS,
+    race_statistics,
+)
+from repro.quic import Transport
+
+from benchmarks._helpers import print_table
+
+
+def test_extension_latency_race(benchmark):
+    stats_for = lambda op, scenario, **kw: race_statistics(op, scenario, n=80, seed=0, **kw)
+
+    benchmark.pedantic(
+        lambda: stats_for(TABLE7_OPERATIONS[0], LAN_SCENARIO), rounds=1, iterations=1
+    )
+
+    rows = []
+    for operation in TABLE7_OPERATIONS:
+        for scenario in (LAN_SCENARIO, MOBILE_SCENARIO):
+            stats = stats_for(operation, scenario)
+            rows.append(
+                (
+                    f"{operation.device} ({scenario.name})",
+                    f"{stats['mean_command_ms']:.0f}",
+                    f"{stats['mean_proof_ms']:.0f}",
+                    f"{100 * stats['proof_win_rate']:.0f}%",
+                    f"{stats['mean_hold_ms']:.1f}",
+                    f"{100 * stats['completion_rate']:.0f}%",
+                )
+            )
+            assert stats["proof_win_rate"] > 0.9
+            assert stats["mean_hold_ms"] < 10.0
+            assert stats["completion_rate"] == 1.0
+    print_table(
+        "Extension — proof-vs-command race (paper: FIAT adds no latency)",
+        ("operation", "command ms", "proof ms", "proof wins", "added hold ms", "completed"),
+        rows,
+    )
+
+    # §6 tolerance, end-to-end: +1.8 s survivable, +4 s breaks commands.
+    tolerant = stats_for(
+        TABLE7_OPERATIONS[1], LAN_SCENARIO, extra_validation_delay_s=1.8
+    )
+    broken = stats_for(
+        TABLE7_OPERATIONS[1], LAN_SCENARIO, extra_validation_delay_s=4.0
+    )
+    print(
+        f"tolerance: +1.8s -> completion {tolerant['completion_rate']:.2f}; "
+        f"+4.0s -> completion {broken['completion_rate']:.2f} "
+        "(paper: ~2 s TCP budget)"
+    )
+    assert tolerant["completion_rate"] > 0.95
+    assert broken["completion_rate"] < 0.2
+
+    # 1-RTT remains fast enough too (the paper's fallback channel).
+    one_rtt = stats_for(
+        TABLE7_OPERATIONS[2], MOBILE_SCENARIO, transport=Transport.QUIC_1RTT
+    )
+    assert one_rtt["completion_rate"] == 1.0

@@ -1,0 +1,68 @@
+"""Figure 1(a): predictable flows of the Bose SoundTouch 10 over 30 min.
+
+The paper visualises 8 highly predictable TCP/UDP flows of the Bose
+SoundTouch as observed in YourThings.  This bench renders the same
+30-minute capture from the SoundTouch profile, reports the per-flow
+packet series (count, period, predictability), and benchmarks the §2.1
+labelling pass that produces the figure.
+"""
+
+from collections import defaultdict
+
+from repro.net import FlowDefinition
+from repro.predictability import label_predictable
+from repro.testbed import BOSE_SOUNDTOUCH, Household, HouseholdConfig
+
+from benchmarks._helpers import print_table
+
+
+def _soundtouch_trace():
+    config = HouseholdConfig(duration_s=1800.0, seed=2, manual_interval_s=(1e9, 2e9))
+    household = Household([BOSE_SOUNDTOUCH], config)
+    # Fig 1(a) shows only the periodic flows: disable routines too.
+    household.profiles[0] = household.profiles[0]
+    result = household.simulate()
+    return result
+
+
+def test_fig1a_soundtouch_flows(benchmark):
+    result = _soundtouch_trace()
+    trace = result.trace
+
+    labels = benchmark.pedantic(
+        lambda: label_predictable(trace, FlowDefinition.PORTLESS, dns=result.cloud.dns),
+        rounds=3,
+        iterations=1,
+    )
+
+    per_flow = defaultdict(lambda: [0, 0])
+    from repro.net.flows import portless_key
+
+    for packet, predictable in zip(trace, labels):
+        key = portless_key(packet, result.cloud.dns)
+        per_flow[key][0] += 1
+        per_flow[key][1] += int(predictable)
+
+    rows = []
+    for key, (total, predictable) in sorted(per_flow.items(), key=lambda kv: -kv[1][0]):
+        _, remote, direction, proto, size = key
+        rows.append(
+            (
+                f"{remote}",
+                direction,
+                proto,
+                f"{size}B",
+                total,
+                f"{predictable / total:.2f}",
+            )
+        )
+    print_table(
+        "Fig 1(a) — Bose SoundTouch flows over 30 min "
+        "(paper: 8 highly predictable TCP/UDP flows)",
+        ("remote", "dir", "proto", "size", "packets", "predictable"),
+        rows,
+    )
+
+    periodic_rows = [r for r in rows if r[4] >= 10]
+    assert len(periodic_rows) >= 8, "the SoundTouch must expose >= 8 recurring flows"
+    assert all(float(r[5]) > 0.9 for r in periodic_rows)

@@ -1,0 +1,44 @@
+"""§2.2 IoT-Inspector analysis: predictability at 5-second granularity.
+
+The paper re-runs the heuristic over IoT Inspector's five-second
+aggregates and reports that, despite the coarsening (one unpredictable
+packet poisons its whole window), half the devices still exceed 85 %
+predictability under PortLess.
+"""
+
+import numpy as np
+
+from repro.datasets import inspector_device_predictability
+from repro.net import FlowDefinition
+from repro.predictability import analyze_trace
+
+from benchmarks._helpers import print_table
+
+
+def test_inspector_windowed_predictability(benchmark, inspector_corpus):
+    windowed = benchmark.pedantic(
+        lambda: inspector_device_predictability(inspector_corpus, FlowDefinition.PORTLESS),
+        rounds=1,
+        iterations=1,
+    )
+    values = np.asarray(sorted(windowed.values()))
+    packet_level = analyze_trace(inspector_corpus, FlowDefinition.PORTLESS)
+    packet_values = np.asarray(sorted(packet_level.fractions()))
+
+    rows = [
+        ("5-second windows (Inspector granularity)", f"{np.median(values):.2f}",
+         f"{np.mean(values > 0.85):.2f}"),
+        ("packet level (ground truth)", f"{np.median(packet_values):.2f}",
+         f"{np.mean(packet_values > 0.85):.2f}"),
+    ]
+    print_table(
+        "IoT Inspector — predictability at 5 s aggregation "
+        "(paper: half of devices > 85 % despite coarsening)",
+        ("granularity", "median device", "share of devices > 0.85"),
+        rows,
+    )
+
+    # Coarsening must lose information relative to packets (the paper's
+    # central caveat) yet keep the median device reasonably predictable.
+    assert np.median(values) <= np.median(packet_values)
+    assert np.median(values) > 0.4

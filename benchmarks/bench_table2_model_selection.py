@@ -1,0 +1,116 @@
+"""Table 2: model selection — mean balanced accuracy of 9 classifiers.
+
+The paper sweeps nine model families (with per-family hyperparameter
+exploration: NCC/kNN distance metrics, kNN k in 3..15, MLP depth 1..10,
+tree depth 2..12) over the labelled unpredictable events of the seven
+ML devices, reporting each family's best mean balanced accuracy.
+Published ranking: NCC 0.931 > BernoulliNB 0.906 > NN 0.786 >
+GaussianNB 0.779 > DT 0.745 > AdaBoost 0.739 > SVC 0.713 > RF 0.706 >
+kNN 0.621.
+"""
+
+import numpy as np
+
+from repro import ml
+from repro.features import event_labels, events_to_matrix
+
+from benchmarks._helpers import ML_DEVICES, print_table
+
+#: Model families with their hyperparameter grids (the paper's sweeps).
+MODEL_GRIDS = {
+    "Nearest Centroid Classifier": [
+        lambda metric=metric: ml.NearestCentroidClassifier(metric=metric)
+        for metric in ("euclidean", "manhattan", "chebyshev")
+    ],
+    "Bernoulli Naive Bayes": [lambda: ml.BernoulliNB()],
+    "Neural Network": [
+        lambda depth=depth: ml.MLPClassifier(
+            hidden_layer_sizes=(128,) * depth, n_epochs=120, seed=0
+        )
+        for depth in (1, 2, 4, 8)
+    ],
+    "Gaussian Naive Bayes": [lambda: ml.GaussianNB()],
+    "Decision Tree": [
+        lambda depth=depth: ml.DecisionTreeClassifier(max_depth=depth)
+        for depth in (2, 3, 6, 12)
+    ],
+    "AdaBoost Classifier": [lambda: ml.AdaBoostClassifier(n_estimators=30, seed=0)],
+    "Support Vector Classifier": [lambda: ml.LinearSVC(n_epochs=10, seed=0)],
+    "Random Forest": [lambda: ml.RandomForestClassifier(n_estimators=30, seed=0)],
+    "K-Nearest Neighbors": [
+        lambda k=k: ml.KNeighborsClassifier(n_neighbors=k)
+        for k in (3, 5, 9, 15)
+    ],
+}
+
+#: Published Table 2 values, for the printed comparison.
+PAPER_TABLE2 = {
+    "Nearest Centroid Classifier": 0.931,
+    "Bernoulli Naive Bayes": 0.906,
+    "Neural Network": 0.786,
+    "Gaussian Naive Bayes": 0.779,
+    "Decision Tree": 0.745,
+    "AdaBoost Classifier": 0.739,
+    "Support Vector Classifier": 0.713,
+    "Random Forest": 0.706,
+    "K-Nearest Neighbors": 0.621,
+}
+
+
+def _device_matrices(labeled_event_sets):
+    matrices = []
+    for device in ML_DEVICES:
+        events = labeled_event_sets[(device, "US")]
+        X = events_to_matrix(events)
+        y = event_labels(events)
+        matrices.append((device, ml.StandardScaler().fit_transform(X), y))
+    return matrices
+
+
+def test_table2_model_selection(benchmark, labeled_event_sets):
+    matrices = _device_matrices(labeled_event_sets)
+
+    def evaluate_family(builders):
+        best = 0.0
+        for builder in builders:
+            scores = [
+                ml.cross_validate(builder(), X, y, n_splits=5, seed=0)["mean"]
+                for _, X, y in matrices
+            ]
+            best = max(best, float(np.mean(scores)))
+        return best
+
+    # Benchmark the deployed family's evaluation (BernoulliNB).
+    bnb_score = benchmark.pedantic(
+        lambda: evaluate_family(MODEL_GRIDS["Bernoulli Naive Bayes"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    results = {}
+    for family, builders in MODEL_GRIDS.items():
+        if family == "Bernoulli Naive Bayes":
+            results[family] = bnb_score
+        else:
+            results[family] = evaluate_family(builders)
+
+    rows = [
+        (family, f"{score:.3f}", f"{PAPER_TABLE2[family]:.3f}")
+        for family, score in sorted(results.items(), key=lambda kv: -kv[1])
+    ]
+    print_table(
+        "Table 2 — model selection, mean balanced accuracy over 7 devices "
+        "(best hyperparameters per family)",
+        ("model", "measured", "paper"),
+        rows,
+    )
+
+    # Shape: NCC and BernoulliNB are strong (>= 0.85) and kNN trails them.
+    assert results["Nearest Centroid Classifier"] > 0.85
+    assert results["Bernoulli Naive Bayes"] > 0.85
+    top_two = {
+        "Nearest Centroid Classifier",
+        "Bernoulli Naive Bayes",
+    }
+    for family in top_two:
+        assert results[family] >= results["K-Nearest Neighbors"] - 0.05

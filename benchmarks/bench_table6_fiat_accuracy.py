@@ -1,0 +1,101 @@
+"""Table 6: FIAT end-to-end accuracy over the 10-device testbed.
+
+Runs the §6 experiment: 50 scripted manual operations per device (with
+genuine human motion and signed proofs), 120 non-manual unpredictable
+events, and 50 account-compromise attacks (30 % of which run spyware
+that forwards still-phone sensor proofs).  Reports, per device: event
+classifier precision/recall (manual and non-manual), the aggregated
+humanness-validation precision/recall, and the empirical FP/FN columns,
+next to the Appendix-A closed-form rates computed from the measured
+recalls.
+
+Paper shape: rule devices (SP10, WP3, Nest-E) plus the cameras are
+perfect; the remaining devices show a few percent FP and FN, with the
+least-trained device (E4, and the complex speakers here) worst; human
+validation ~0.99/0.93 (human) and ~0.94/0.98 (non-human).
+"""
+
+from repro.core import FiatConfig, FiatSystem, Recalls, table6_error_columns
+from repro.testbed import TESTBED
+
+from benchmarks._helpers import print_table
+
+RULE_DEVICES = {"SP10", "WP3", "Nest-E"}
+
+
+def test_table6_fiat_accuracy(benchmark):
+    system = FiatSystem(
+        list(TESTBED),
+        config=FiatConfig(bootstrap_s=0.0),
+        seed=0,
+        n_training_events=240,
+    )
+
+    results = benchmark.pedantic(
+        lambda: system.run_accuracy(n_manual=50, n_non_manual=120, n_attacks=50),
+        rounds=1,
+        iterations=1,
+    )
+    human = system.human_validation_rates()
+
+    rows = []
+    for device, row in results.items():
+        analytic = table6_error_columns(
+            Recalls(
+                manual=row.manual_recall,
+                non_manual=row.non_manual_recall,
+                human=human["human_recall"],
+                non_human=human["non_human_recall"],
+            )
+        )
+        rows.append(
+            (
+                device,
+                f"{row.manual_precision:.2f}/{row.manual_recall:.2f}",
+                f"{row.non_manual_precision:.2f}/{row.non_manual_recall:.2f}",
+                f"{row.fp_non_manual_blocked * 100:.1f}%",
+                f"{row.fp_manual_blocked * 100:.1f}%",
+                f"{row.false_negative * 100:.1f}%",
+                f"{analytic['false_negative'] * 100:.1f}%",
+            )
+        )
+    print_table(
+        "Table 6 — FIAT accuracy "
+        "(paper: zero FP/FN for half the devices, <= 5.72 % for the rest)",
+        (
+            "device",
+            "manual P/R",
+            "non-manual P/R",
+            "FP non-manual blocked",
+            "FP manual blocked",
+            "FN empirical",
+            "FN Appendix-A",
+        ),
+        rows,
+    )
+    print(
+        "humanness validation (paper 0.992/0.934 human, 0.938/0.982 non-human): "
+        f"{human['human_precision']:.3f}/{human['human_recall']:.3f} human, "
+        f"{human['non_human_precision']:.3f}/{human['non_human_recall']:.3f} non-human"
+    )
+
+    # Rule devices classify perfectly (paper: 100/100).
+    for device in RULE_DEVICES:
+        assert results[device].manual_precision == 1.0, device
+        assert results[device].manual_recall == 1.0, device
+
+    # Every device: high recall, bounded errors.
+    for device, row in results.items():
+        assert row.manual_recall > 0.8, device
+        assert row.non_manual_recall > 0.9, device
+        assert row.fp_non_manual_blocked < 0.08, device
+        assert row.fp_manual_blocked < 0.12, device
+        assert row.false_negative < 0.2, device
+
+    # At least some devices reach the paper's "zero errors" band.
+    zero_fn = [d for d, r in results.items() if r.false_negative <= 0.02]
+    assert len(zero_fn) >= 3
+
+    # Humanness validation lands in the paper's band.
+    assert human["human_recall"] > 0.85
+    assert human["non_human_recall"] > 0.9

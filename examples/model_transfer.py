@@ -1,0 +1,61 @@
+"""Cross-location model transfer (§4.3, Table 5).
+
+Trains the manual-event classifier on traffic observed in one country
+and tests it on the same device model operated elsewhere (different
+cloud IPs, different ccTLD domains).  Because the classifier never
+relies on addressing features (Table 4: zero importance for IP octets),
+the knowledge transfers — this is what lets a production FIAT ship one
+model per device model and software version (§7).
+
+Run:  python examples/model_transfer.py
+"""
+
+from repro import ml
+from repro.features import FEATURE_NAMES, event_labels, events_to_matrix
+from repro.testbed import Location, generate_labeled_events
+
+
+def dataset(device: str, location: Location, seed: int):
+    events = generate_labeled_events(
+        device, location=location, n_manual=50, n_automated=80, n_control=100, seed=seed
+    )
+    return events_to_matrix(events), event_labels(events)
+
+
+def main() -> None:
+    device = "HomeMini"
+    print(f"device: {device} (talks to google.com in US, google.co.jp in JP, google.de in DE)\n")
+
+    data = {
+        location: dataset(device, location, seed=40 + i)
+        for i, location in enumerate(Location)
+    }
+
+    print(f"{'train -> test':16s}  {'manual F1':>9s}")
+    for src in Location:
+        for dst in Location:
+            if src is dst:
+                continue
+            X_train, y_train = data[src]
+            X_test, y_test = data[dst]
+            scaler = ml.StandardScaler().fit(X_train)
+            model = ml.BernoulliNB().fit(scaler.transform(X_train), y_train)
+            f1 = ml.f1_score(y_test, model.predict(scaler.transform(X_test)), "manual")
+            print(f"{src.value:>5s} -> {dst.value:<5s}     {f1:9.2f}")
+
+    # Why it transfers: permutation importance of the addressing features.
+    X, y = data[Location.US]
+    scaler = ml.StandardScaler().fit(X)
+    model = ml.BernoulliNB().fit(scaler.transform(X), y)
+    importance = ml.permutation_importance(
+        model, scaler.transform(X), y, scoring=ml.manual_f1_scorer("manual"),
+        n_repeats=15, seed=0,
+    )
+    ranked = ml.rank_features(importance["importances_mean"], FEATURE_NAMES)
+    ip_max = max(abs(v) for name, v in ranked if "dst-ip" in name)
+    print(f"\ntop features: {[name for name, _ in ranked[:4]]}")
+    print(f"largest |importance| among dst-ip octets: {ip_max:.4f} (paper: 0.0000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Reproduce the §2 measurement study on synthetic public corpora.
+
+Generates YourThings-like and Mon(IoT)r-like corpora, labels every
+packet with the bucket heuristic under both flow definitions, and prints
+the per-device predictability distributions plus the max-interval
+analysis behind FIAT's 20-minute bootstrap.
+
+Run:  python examples/traffic_predictability_study.py
+"""
+
+import numpy as np
+
+from repro.datasets import (
+    generate_moniotr_active,
+    generate_moniotr_idle,
+    generate_yourthings,
+)
+from repro.net import FlowDefinition
+from repro.predictability import analyze_trace, cdf, max_predictable_intervals
+
+
+def summarize(name: str, trace) -> None:
+    print(f"\n{name}: {len(trace)} packets from {len(trace.devices())} devices")
+    for definition in (FlowDefinition.PORTLESS, FlowDefinition.CLASSIC):
+        fractions = np.asarray(analyze_trace(trace, definition).fractions())
+        print(
+            f"  {definition.value:8s}  median {np.median(fractions):.2f}   "
+            f"devices >80% predictable: {100 * np.mean(fractions > 0.8):.0f}%"
+        )
+
+
+def main() -> None:
+    print("generating corpora (a minute or so)...")
+    yourthings = generate_yourthings(n_devices=30, duration_s=2400.0, seed=0)
+    idle = generate_moniotr_idle(n_devices=25, duration_s=1200.0)
+    active = generate_moniotr_active(n_devices=25, n_chunks=6)
+
+    summarize("YourThings-like (continuous captures)", yourthings)
+    summarize("Mon(IoT)r-like, idle split (control only)", idle)
+    summarize("Mon(IoT)r-like, active split (manual mixed)", active)
+
+    print("\nmax intervals of predictable flows (YourThings, Fig 1c):")
+    intervals = max_predictable_intervals(yourthings)
+    values = np.asarray(sorted(v for v in intervals.values() if v > 0))
+    x, y = cdf(values)
+    for percentile in (50, 80, 90, 100):
+        print(f"  p{percentile:<3d} {np.percentile(values, percentile):6.0f} s")
+    print(
+        f"  => capture 2 x {values.max():.0f} s = {2 * values.max():.0f} s "
+        "to learn all predictable traffic (the paper's 20-minute bootstrap)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""FIAT: Frictionless Authentication of IoT Traffic — full reproduction.
+
+Reproduces Xiao & Varvello, CoNEXT 2022 (DOI 10.1145/3555050.3569126):
+a third-party mechanism that authorizes IoT traffic by learning its
+predictable portion and validating human presence behind unpredictable
+manual events.
+
+Subpackages
+-----------
+``repro.net``
+    Packet / flow / DNS / trace substrate.
+``repro.predictability``
+    The §2.1 bucket heuristic and the measurement analyses.
+``repro.events``
+    Unpredictable-event grouping and ground-truth labelling.
+``repro.features``
+    66 packet-event features and 48 motion-sensor features.
+``repro.ml``
+    From-scratch NumPy classifiers (all Table-2 models) + CV + metrics.
+``repro.sensors``
+    Synthetic accelerometer/gyroscope traces and humanness detection.
+``repro.crypto``
+    TEE-like keystore, pairing, signing, replay protection.
+``repro.quic``
+    Transport latency models (TCP / QUIC 1-RTT / QUIC 0-RTT) + channel.
+``repro.testbed``
+    The 10-device testbed simulator (Table 1) and attacker models.
+``repro.datasets``
+    Synthetic YourThings / Mon(IoT)r / IoT-Inspector-like corpora.
+``repro.core``
+    The FIAT system: client app, IoT proxy, accuracy and latency models.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401  (re-export for discoverability)
+    core,
+    crypto,
+    datasets,
+    events,
+    features,
+    ml,
+    net,
+    predictability,
+    quic,
+    scenarios,
+    sensors,
+    testbed,
+    viz,
+)
+
+__all__ = [
+    "net",
+    "predictability",
+    "events",
+    "features",
+    "ml",
+    "sensors",
+    "crypto",
+    "quic",
+    "testbed",
+    "datasets",
+    "core",
+    "scenarios",
+    "viz",
+    "__version__",
+]

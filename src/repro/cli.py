@@ -1,0 +1,272 @@
+"""Command-line interface for the FIAT reproduction.
+
+Installed as ``fiat-repro``; also runnable as ``python -m repro.cli``.
+
+Subcommands
+-----------
+``simulate``
+    Simulate a household and write the labelled capture (JSONL or pcap).
+``analyze``
+    Predictability analysis of a capture (per device, per class,
+    Classic vs PortLess) — the §2/§3 measurement.
+``events``
+    Group a capture's unpredictable traffic into events and summarise
+    them (§3.2).
+``evaluate``
+    Run the Table-6 accuracy experiment for a set of devices.
+``export-profile``
+    Learn allow rules from a capture's bootstrap window and export a
+    MUD-style profile for one device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(path: str):
+    from .net import Trace
+    from .net.pcap import read_pcap
+
+    if path.endswith(".pcap"):
+        return read_pcap(path)
+    return Trace.from_jsonl(path)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .net.pcap import write_pcap
+    from .testbed import TESTBED, Household, HouseholdConfig
+
+    devices = args.devices or list(TESTBED)
+    config = HouseholdConfig(duration_s=args.duration, seed=args.seed)
+    result = Household(devices, config).simulate()
+    if args.output.endswith(".pcap"):
+        write_pcap(result.trace, args.output)
+    else:
+        result.trace.to_jsonl(args.output)
+    stats = result.trace.stats()
+    print(
+        f"wrote {stats.n_packets} packets ({stats.n_bytes} B) from "
+        f"{len(stats.devices)} devices over {stats.duration:.0f}s to {args.output}"
+    )
+    print(f"class mix: {stats.class_counts}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .net import FlowDefinition
+    from .predictability import analyze_trace
+
+    trace = _load_trace(args.trace)
+    for name in args.definitions:
+        definition = FlowDefinition(name)
+        report = analyze_trace(trace, definition)
+        print(f"\n[{definition.value}]")
+        print(f"{'device':24s} {'packets':>8s} {'predictable':>12s}")
+        for device, entry in sorted(report.devices.items()):
+            print(f"{device:24s} {entry.n_packets:8d} {entry.fraction:12.3f}")
+            for cls, (total, predictable) in sorted(entry.per_class.items()):
+                if total:
+                    print(f"  {cls:22s} {total:8d} {predictable / total:12.3f}")
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    from .events import group_events
+    from .net import FlowDefinition
+    from .predictability import label_predictable
+
+    trace = _load_trace(args.trace)
+    mask = label_predictable(trace, FlowDefinition(args.definition))
+    events = group_events(trace, mask, gap=args.gap)
+    print(f"{len(events)} unpredictable events "
+          f"({sum(not m for m in mask)} unpredictable packets of {len(trace)})")
+    print(f"{'device':24s} {'start':>10s} {'packets':>8s} {'bytes':>8s} {'class':>10s}")
+    for event in events[: args.limit]:
+        print(
+            f"{event.device:24s} {event.start:10.1f} {len(event):8d} "
+            f"{event.total_bytes:8d} {event.majority_class().value:>10s}"
+        )
+    if len(events) > args.limit:
+        print(f"... {len(events) - args.limit} more (raise --limit)")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from .core import FiatConfig, FiatSystem
+
+    system = FiatSystem(
+        args.devices,
+        config=FiatConfig(bootstrap_s=0.0),
+        seed=args.seed,
+        n_training_events=args.training_events,
+    )
+    results = system.run_accuracy(
+        n_manual=args.manual, n_non_manual=args.non_manual, n_attacks=args.attacks
+    )
+    print(f"{'device':12s} {'manual P/R':>12s} {'FP legit':>9s} {'FN attacks':>11s}")
+    for device, row in results.items():
+        fp = row.fp_manual_blocked + row.fp_non_manual_blocked
+        print(
+            f"{device:12s} {row.manual_precision:5.2f}/{row.manual_recall:4.2f}"
+            f" {100 * fp:8.1f}% {100 * row.false_negative:10.1f}%"
+        )
+    human = system.human_validation_rates()
+    print(
+        f"humanness: P/R {human['human_precision']:.2f}/{human['human_recall']:.2f} human, "
+        f"{human['non_human_precision']:.2f}/{human['non_human_recall']:.2f} non-human"
+    )
+    return 0
+
+
+def cmd_export_profile(args: argparse.Namespace) -> int:
+    from .core.mud import export_profile
+    from .core.rules import RuleTable
+    from .net import FlowDefinition
+    from .predictability import BucketPredictor
+
+    trace = _load_trace(args.trace)
+    device_trace = trace.for_device(args.device) if args.device else trace
+    if len(device_trace) == 0:
+        print(f"no packets for device {args.device!r}", file=sys.stderr)
+        return 1
+    predictor = BucketPredictor(FlowDefinition(args.definition), dns=trace.dns)
+    bootstrap_end = device_trace.start + args.bootstrap
+    predictor.learn_trace(p for p in device_trace if p.timestamp < bootstrap_end)
+    table = RuleTable.from_predictor(predictor)
+    document = export_profile(
+        args.device or "all-devices", table, metadata={"source": args.trace}
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {len(table)} rules to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .core import train_event_classifier
+    from .ml.persistence import save_model
+    from .testbed import generate_labeled_events, profile_for
+
+    profile = profile_for(args.device)
+    if profile.uses_simple_rules:
+        print(
+            f"{args.device} uses the simple first-packet-size rule "
+            f"({profile.simple_rule_size} B); no model to train.",
+            file=sys.stderr,
+        )
+        return 1
+    events = generate_labeled_events(
+        profile,
+        n_manual=args.manual,
+        n_automated=args.non_manual,
+        n_control=args.non_manual,
+        seed=args.seed,
+    )
+    classifier = train_event_classifier(profile, events)
+    document = save_model(
+        classifier.model,
+        classifier.scaler,
+        metadata={"device": args.device, "first_n": classifier.first_n},
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"trained on {len(events)} events; model written to {args.output}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import EXAMPLE_SCENARIO, run_scenario
+
+    if args.example:
+        document = EXAMPLE_SCENARIO
+    else:
+        with open(args.scenario, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    report = run_scenario(document)
+    print(report.to_json())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="fiat-repro",
+        description="FIAT (CoNEXT '22) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate a household capture")
+    simulate.add_argument("--devices", nargs="*", help="device names (default: all 10)")
+    simulate.add_argument("--duration", type=float, default=3600.0, help="seconds")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--output", required=True, help=".jsonl or .pcap path")
+    simulate.set_defaults(func=cmd_simulate)
+
+    analyze = sub.add_parser("analyze", help="predictability analysis of a capture")
+    analyze.add_argument("trace", help=".jsonl or .pcap capture")
+    analyze.add_argument(
+        "--definitions", nargs="*", default=["portless", "classic"],
+        choices=["portless", "classic"],
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    events = sub.add_parser("events", help="group unpredictable events")
+    events.add_argument("trace")
+    events.add_argument("--definition", default="portless", choices=["portless", "classic"])
+    events.add_argument("--gap", type=float, default=5.0)
+    events.add_argument("--limit", type=int, default=20)
+    events.set_defaults(func=cmd_events)
+
+    evaluate = sub.add_parser("evaluate", help="run the Table-6 accuracy experiment")
+    evaluate.add_argument("--devices", nargs="+", required=True)
+    evaluate.add_argument("--manual", type=int, default=20)
+    evaluate.add_argument("--non-manual", dest="non_manual", type=int, default=40)
+    evaluate.add_argument("--attacks", type=int, default=20)
+    evaluate.add_argument("--training-events", dest="training_events", type=int, default=160)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    train = sub.add_parser("train", help="train + save a device's event classifier")
+    train.add_argument("--device", required=True)
+    train.add_argument("--manual", type=int, default=60)
+    train.add_argument("--non-manual", dest="non_manual", type=int, default=120)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", required=True, help="model JSON path")
+    train.set_defaults(func=cmd_train)
+
+    scenario = sub.add_parser("scenario", help="run a declarative JSON scenario")
+    scenario.add_argument("scenario", nargs="?", help="path to a scenario JSON file")
+    scenario.add_argument(
+        "--example", action="store_true", help="run the built-in example scenario"
+    )
+    scenario.set_defaults(func=cmd_scenario)
+
+    export = sub.add_parser("export-profile", help="export learned rules as MUD JSON")
+    export.add_argument("trace")
+    export.add_argument("--device", help="restrict to one device")
+    export.add_argument("--definition", default="portless", choices=["portless", "classic"])
+    export.add_argument("--bootstrap", type=float, default=1200.0)
+    export.add_argument("--output", help="file path (default: stdout)")
+    export.set_defaults(func=cmd_export_profile)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

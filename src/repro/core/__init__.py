@@ -1,0 +1,77 @@
+"""FIAT core: client app, IoT proxy, accuracy and latency models."""
+
+from .audit import AuditEntry, AuditLog, build_user_report
+from .interactions import CycleError, DeviceInteractionGraph, InteractionRule
+from .mud import export_profile, import_profile
+from .analysis import (
+    Recalls,
+    false_negative,
+    fp_blocked_manual,
+    fp_blocked_non_manual,
+    table6_error_columns,
+)
+from .classifier import EventClassifier, SimpleRuleClassifier, train_event_classifier
+from .identification import IDENTIFICATION_FEATURES, DeviceIdentifier, device_fingerprint
+from .client import AuthAttempt, FiatApp
+from .config import FiatConfig
+from .latency import (
+    LAN_SCENARIO,
+    MOBILE_SCENARIO,
+    TABLE7_OPERATIONS,
+    TCP_TOLERANCE_S,
+    DeviceOperation,
+    Scenario,
+    command_impaired,
+    time_to_first_packet,
+    validation_breakdown,
+)
+from .pipeline import DeviceAccuracy, FiatSystem
+from .race import RaceOutcome, race_statistics, simulate_race
+from .proxy import Alert, EventDecision, FiatProxy
+from .rules import RuleTable
+from .validation import HumanValidationService, ValidatedInteraction
+
+__all__ = [
+    "AuditEntry",
+    "AuditLog",
+    "build_user_report",
+    "DeviceInteractionGraph",
+    "InteractionRule",
+    "CycleError",
+    "export_profile",
+    "import_profile",
+    "DeviceIdentifier",
+    "device_fingerprint",
+    "IDENTIFICATION_FEATURES",
+    "FiatConfig",
+    "RuleTable",
+    "EventClassifier",
+    "SimpleRuleClassifier",
+    "train_event_classifier",
+    "HumanValidationService",
+    "ValidatedInteraction",
+    "FiatApp",
+    "AuthAttempt",
+    "FiatProxy",
+    "EventDecision",
+    "Alert",
+    "FiatSystem",
+    "DeviceAccuracy",
+    "Recalls",
+    "fp_blocked_non_manual",
+    "fp_blocked_manual",
+    "false_negative",
+    "table6_error_columns",
+    "DeviceOperation",
+    "TABLE7_OPERATIONS",
+    "Scenario",
+    "LAN_SCENARIO",
+    "MOBILE_SCENARIO",
+    "time_to_first_packet",
+    "validation_breakdown",
+    "command_impaired",
+    "TCP_TOLERANCE_S",
+    "RaceOutcome",
+    "simulate_race",
+    "race_statistics",
+]

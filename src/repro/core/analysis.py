@@ -1,0 +1,92 @@
+"""Formal FP/FN model of FIAT (paper Appendix A) and Table-6 helpers.
+
+FIAT's end-to-end errors combine the unpredictable-event classifier and
+the humanness validator.  With ``R_x`` the recall of class ``x``:
+
+* **FP-N** (eq. 3): a non-manual event is misclassified as manual
+  *and* the (absent) human activity is correctly found absent — the
+  event is blocked although legitimate.
+* **FP-M** (eq. 4): a manual event is correctly classified but the
+  genuine human behind it fails validation — the user's own command is
+  blocked.
+* **FN** (eq. 5): a manual event is misclassified as non-manual (and
+  sails through), or is correctly classified but a *non-human* actor is
+  mistakenly validated as human — a successful attack.
+
+Note on notation: Appendix A's equation (2) contains two typos (it
+writes ``P{non_human|non_human} = R_human`` and eq. 4 then uses
+``1 - R_human`` where Table 6's numbers use ``1 - R_non_human``).  The
+functions here implement the formulas as *numerically used* to produce
+Table 6 (verified against every row of the published table); the
+docstrings flag where that differs from the Appendix's literal algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "Recalls",
+    "fp_blocked_non_manual",
+    "fp_blocked_manual",
+    "false_negative",
+    "table6_error_columns",
+]
+
+
+@dataclass(frozen=True)
+class Recalls:
+    """The four recalls feeding the Appendix-A model."""
+
+    manual: float
+    non_manual: float
+    human: float
+    non_human: float
+
+    def __post_init__(self) -> None:
+        for name in ("manual", "non_manual", "human", "non_human"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"recall {name} must be in [0, 1], got {value}")
+
+
+def fp_blocked_non_manual(r_non_manual: float, r_human: float) -> float:
+    """FP-N (eq. 3): legit control/automated traffic blocked.
+
+    ``(1 - R_non_manual) * R_human`` — misclassified as manual while no
+    human activity is (correctly) found.  Matches Table 6's first error
+    column (e.g. Echo Dot 4: ``(1-0.985) * 0.934 = 1.40 %``).
+    """
+    return (1.0 - r_non_manual) * r_human
+
+
+def fp_blocked_manual(r_manual: float, r_non_human: float) -> float:
+    """FP-M (eq. 4): the user's own manual command blocked.
+
+    Correctly classified manual (``R_manual``) but the human fails
+    validation.  Table 6's numbers use ``1 - R_non_human`` for the
+    mis-validation probability (e.g. Echo Dot 4:
+    ``0.98 * (1-0.982) = 1.76 %``); the Appendix's literal eq. 4 writes
+    ``1 - R_human`` instead — we follow the table.
+    """
+    return r_manual * (1.0 - r_non_human)
+
+
+def false_negative(r_manual: float, r_non_human: float) -> float:
+    """FN (eq. 5): a successful attack.
+
+    ``1 - R_manual + R_manual * (1 - R_non_human)`` — missed by the
+    classifier, or caught but the (non-human) attacker passes the
+    humanness check.  Echo Dot 4: ``0.02 + 0.98*0.018 = 3.76 %``.
+    """
+    return (1.0 - r_manual) + r_manual * (1.0 - r_non_human)
+
+
+def table6_error_columns(recalls: Recalls) -> Dict[str, float]:
+    """The three error columns of Table 6 for one device, as fractions."""
+    return {
+        "fp_manual": fp_blocked_non_manual(recalls.non_manual, recalls.human),
+        "fp_non_manual": fp_blocked_manual(recalls.manual, recalls.non_human),
+        "false_negative": false_negative(recalls.manual, recalls.non_human),
+    }

@@ -1,0 +1,224 @@
+"""Tamper-evident audit log and user reporting (paper §7).
+
+The paper argues FIAT beats 2FA on *silent* failures because the proxy
+"keeps logs of all the unpredictable events (regardless of whether they
+are manual/non-manual or authenticated/unauthenticated)", protected by
+the proxy's TEE; "reporting such logs to the users can effectively
+relieve the concerns and allow the users to notice the silent false
+negatives".
+
+This module implements that future-work feature:
+
+* :class:`AuditLog` — an append-only, hash-chained record of proxy
+  decisions and validation events.  Each entry commits to its
+  predecessor (a blockchain-style chain), so an attacker who can delete
+  or rewrite records without the TEE key breaks verification.
+* :func:`build_user_report` — the periodic digest the paper envisions:
+  per-device activity counts, blocked events, and — crucially — *allowed
+  manual events with no matching validated interaction*, the fingerprint
+  of a silent false negative.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..crypto.keystore import SecureKeystore
+from .proxy import EventDecision, FiatProxy
+
+__all__ = ["AuditEntry", "AuditLog", "build_user_report"]
+
+_GENESIS = "0" * 64
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One chained log record."""
+
+    index: int
+    timestamp: float
+    kind: str  # "decision" | "validation" | "alert"
+    payload: Dict[str, Any]
+    previous_hash: str
+    entry_hash: str
+
+    @staticmethod
+    def compute_hash(index: int, timestamp: float, kind: str,
+                     payload: Dict[str, Any], previous_hash: str) -> str:
+        blob = json.dumps(
+            {
+                "index": index,
+                "timestamp": timestamp,
+                "kind": kind,
+                "payload": payload,
+                "previous_hash": previous_hash,
+            },
+            sort_keys=True,
+            default=str,
+        ).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+class AuditLog:
+    """Append-only hash chain of proxy events, signable by the TEE key."""
+
+    def __init__(self, keystore: Optional[SecureKeystore] = None,
+                 key_alias: str = "fiat-pairing") -> None:
+        self._entries: List[AuditEntry] = []
+        self._keystore = keystore
+        self._key_alias = key_alias
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the latest entry (genesis constant when empty)."""
+        return self._entries[-1].entry_hash if self._entries else _GENESIS
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, timestamp: float, kind: str, payload: Dict[str, Any]) -> AuditEntry:
+        """Append one record, chaining it to the current head."""
+        index = len(self._entries)
+        previous = self.head_hash
+        entry_hash = AuditEntry.compute_hash(index, timestamp, kind, payload, previous)
+        entry = AuditEntry(
+            index=index,
+            timestamp=timestamp,
+            kind=kind,
+            payload=dict(payload),
+            previous_hash=previous,
+            entry_hash=entry_hash,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def record_decision(self, decision: EventDecision) -> AuditEntry:
+        """Log one proxy event decision."""
+        return self.append(
+            decision.start,
+            "decision",
+            {
+                "device": decision.device,
+                "n_packets": decision.n_packets,
+                "predicted_manual": decision.predicted_manual,
+                "human_backed": decision.human_backed,
+                "action": decision.action,
+                "event_id": decision.event_id,
+            },
+        )
+
+    def ingest_proxy(self, proxy: FiatProxy) -> int:
+        """Log all proxy decisions and alerts not yet recorded.
+
+        Returns the number of entries appended.  Idempotent across calls
+        when the proxy's logs only grow (the normal case).
+        """
+        recorded_events = {
+            (e.payload.get("event_id"), e.payload.get("device"))
+            for e in self._entries
+            if e.kind == "decision"
+        }
+        appended = 0
+        for decision in proxy.decisions:
+            key = (decision.event_id, decision.device)
+            if key not in recorded_events:
+                self.record_decision(decision)
+                recorded_events.add(key)
+                appended += 1
+        recorded_alerts = {
+            (e.payload.get("device"), e.timestamp)
+            for e in self._entries
+            if e.kind == "alert"
+        }
+        for alert in proxy.alerts:
+            key = (alert.device, alert.timestamp)
+            if key not in recorded_alerts:
+                self.append(alert.timestamp, "alert",
+                            {"device": alert.device, "reason": alert.reason})
+                recorded_alerts.add(key)
+                appended += 1
+        return appended
+
+    # -- integrity -----------------------------------------------------------------
+
+    def verify(self) -> bool:
+        """Re-compute the whole chain; ``False`` on any tampering."""
+        previous = _GENESIS
+        for i, entry in enumerate(self._entries):
+            if entry.index != i or entry.previous_hash != previous:
+                return False
+            expected = AuditEntry.compute_hash(
+                entry.index, entry.timestamp, entry.kind, entry.payload, previous
+            )
+            if expected != entry.entry_hash:
+                return False
+            previous = entry.entry_hash
+        return True
+
+    def attestation(self) -> Optional[bytes]:
+        """TEE-signed commitment to the current head (None if no keystore)."""
+        if self._keystore is None:
+            return None
+        payload = json.dumps(
+            {"head": self.head_hash, "length": len(self._entries)}
+        ).encode("utf-8")
+        return self._keystore.sign(self._key_alias, payload).to_wire()
+
+
+def build_user_report(log: AuditLog) -> Dict[str, Dict[str, Any]]:
+    """Per-device digest for the user (the paper's §7 reporting feature).
+
+    For each device: event counts by outcome, alerts, and the count of
+    *suspicious allowed manual events* — manual-classified events that
+    were allowed (human-backed at the time); a user who knows they were
+    not at home can spot a silent false negative here.
+    """
+    report: Dict[str, Dict[str, Any]] = {}
+    for entry in log:
+        if entry.kind == "decision":
+            device = entry.payload["device"]
+            slot = report.setdefault(
+                device,
+                {
+                    "events": 0,
+                    "allowed": 0,
+                    "blocked": 0,
+                    "manual_allowed": 0,
+                    "alerts": 0,
+                    "first": entry.timestamp,
+                    "last": entry.timestamp,
+                },
+            )
+            slot["events"] += 1
+            slot["first"] = min(slot["first"], entry.timestamp)
+            slot["last"] = max(slot["last"], entry.timestamp)
+            if entry.payload["action"] == "allow":
+                slot["allowed"] += 1
+                if entry.payload["predicted_manual"]:
+                    slot["manual_allowed"] += 1
+            else:
+                slot["blocked"] += 1
+        elif entry.kind == "alert":
+            device = entry.payload["device"]
+            slot = report.setdefault(
+                device,
+                {
+                    "events": 0,
+                    "allowed": 0,
+                    "blocked": 0,
+                    "manual_allowed": 0,
+                    "alerts": 0,
+                    "first": entry.timestamp,
+                    "last": entry.timestamp,
+                },
+            )
+            slot["alerts"] += 1
+    return report

@@ -1,0 +1,95 @@
+"""FIAT's client-side app (paper §5.3) as a simulation model.
+
+The Android service monitors the foreground app via the accessibility
+service, samples accelerometer + gyroscope at 250 Hz when an IoT
+companion app comes up, extracts the 48 features, signs them with the
+TEE-held pairing key (Jetpack security / hardware keystore) and ships
+the proof to the IoT proxy over QUIC (Cronet), preferring 0-RTT.
+
+Each step's execution cost is modelled after the Table 7 measurements:
+app detection 60-90 ms, a full sensor window ~250 ms (or the 60-80 ms
+lazy buffer), secure storage access ~50 ms, and the transport-dependent
+connection latency from :mod:`repro.quic.transport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..crypto.keystore import SecureKeystore
+from ..features.sensor_features import sensor_features
+from ..quic.channel import AuthChannel
+from ..quic.transport import NetworkPath, Transport
+from ..testbed.phone import ManualInteraction
+
+__all__ = ["AuthAttempt", "FiatApp"]
+
+
+@dataclass
+class AuthAttempt:
+    """One end-to-end authentication attempt with its latency breakdown."""
+
+    wire: bytes
+    sent_at: float
+    #: milliseconds per component (Table 7 rows)
+    components: Dict[str, float]
+
+    @property
+    def time_to_validation_ms(self) -> float:
+        """Client-side latency until the proof reaches the proxy.
+
+        Sensor sampling is excluded, as in the paper: with 1-RTT it
+        overlaps the handshake; with 0-RTT the app keeps a lazy sensor
+        buffer, whose top-up cost is inside ``app_detection``.
+        """
+        return (
+            self.components["app_detection"]
+            + self.components["secure_storage"]
+            + self.components["transport"]
+        )
+
+
+class FiatApp:
+    """Client-side FIAT service bound to one paired phone."""
+
+    def __init__(
+        self,
+        keystore: SecureKeystore,
+        key_alias: str,
+        device_id: str,
+        path: NetworkPath,
+        transport: Transport = Transport.QUIC_0RTT,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.channel = AuthChannel(
+            keystore=keystore,
+            key_alias=key_alias,
+            device_id=device_id,
+            path=path,
+            transport=transport,
+            rng=self._rng,
+        )
+
+    def _component_ms(self, mean: float, sd: float) -> float:
+        return float(max(0.5, self._rng.normal(mean, sd)))
+
+    def authenticate(self, interaction: ManualInteraction, now: float) -> AuthAttempt:
+        """Produce a signed humanness proof for one app interaction.
+
+        Extracts the 48 sensor features on-device (raw motion never
+        leaves the phone unprocessed), signs, and sends.
+        """
+        components = {
+            "app_detection": self._component_ms(75.0, 9.0),
+            "sensor_sampling": self._component_ms(250.0, 7.0),
+            "secure_storage": self._component_ms(50.0, 4.0),
+            "ml_validation": self._component_ms(2.3, 0.3),  # runs at the proxy
+        }
+        features = sensor_features(interaction.sensor_window)
+        delivery = self.channel.send(interaction.app_package, features.tolist(), now)
+        components["transport"] = delivery.latency_ms
+        return AuthAttempt(wire=delivery.wire, sent_at=now, components=components)

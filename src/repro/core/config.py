@@ -1,0 +1,47 @@
+"""FIAT configuration (defaults follow the paper's deployed settings)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.flows import FlowDefinition
+
+__all__ = ["FiatConfig"]
+
+
+@dataclass
+class FiatConfig:
+    """Tunable parameters of a FIAT deployment.
+
+    Defaults mirror the paper: a 20-minute bootstrap (2x the largest
+    predictable-flow interval of Fig 1c), the PortLess flow definition
+    (superior in Fig 1b), the 5-second event gap (§3.2), features over
+    the first 5 packets (§4.1), and a brute-force lockout after repeated
+    unauthorized manual events in a short window (§5.4).
+    """
+
+    #: Seconds of all-allow learning before enforcement starts.
+    bootstrap_s: float = 1200.0
+    #: Flow definition used for rules (PortLess deployed by the paper).
+    flow_definition: FlowDefinition = FlowDefinition.PORTLESS
+    #: IAT quantisation resolution of the bucket heuristic, seconds.
+    iat_resolution: float = 0.25
+    #: Gap closing an unpredictable event, seconds.
+    event_gap_s: float = 5.0
+    #: Packets of an unpredictable event allowed through / featurised.
+    first_n_packets: int = 5
+    #: How long a verified humanness proof authorizes manual traffic, s.
+    human_validity_s: float = 60.0
+    #: Unauthorized manual events within ``lockout_window_s`` before the
+    #: device is disconnected pending manual re-authorization.
+    lockout_threshold: int = 3
+    lockout_window_s: float = 300.0
+    #: Freshness window of the authentication channel, seconds.
+    channel_freshness_s: float = 30.0
+    #: Drift adaptation (§7): refresh the rule table from the live
+    #: predictor every this many seconds (``None`` = freeze at bootstrap,
+    #: the paper's prototype behaviour).
+    rule_refresh_s: "float | None" = None
+    #: Drift adaptation: expire rules unused for this long (``None`` =
+    #: never expire).
+    rule_ttl_s: "float | None" = None

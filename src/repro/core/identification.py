@@ -1,0 +1,174 @@
+"""Passive device identification (paper §7, "Road to Production").
+
+The paper envisions production FIAT downloading "one model per IoT
+device and software version ... automatically as FIAT identifies a new
+device", delegating identification itself to the rich related work
+(§8: port-scan heuristics, ML over traffic characteristics).  This
+module implements that missing piece in the same passive spirit: a
+classifier over *flow-level* characteristics of a device's control
+traffic — the traffic available during FIAT's bootstrap, before any
+model is assigned.
+
+Features per device window (no payloads, no addresses):
+
+* flow structure: number of distinct PortLess buckets, median/min flow
+  period, share of UDP flows, number of distinct remote ports;
+* size structure: packet-size quantiles (25/50/75/max) and mean;
+* rate structure: packets/second, bytes/second.
+
+:class:`DeviceIdentifier` trains on labelled captures (simulated from
+the testbed profiles) and predicts the *device class* (speaker, camera,
+plug, thermostat, vacuum), which selects the model family to load.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.base import Classifier
+from ..ml.preprocessing import StandardScaler
+from ..net.flows import FlowDefinition, flow_key
+from ..net.trace import Trace
+from ..testbed.cloud import Location
+from ..testbed.devices import TESTBED, DeviceProfile
+from ..testbed.household import Household, HouseholdConfig
+
+__all__ = ["IDENTIFICATION_FEATURES", "device_fingerprint", "DeviceIdentifier"]
+
+#: Names of the fingerprint features, aligned with `device_fingerprint`.
+IDENTIFICATION_FEATURES: Tuple[str, ...] = (
+    "n-flows",
+    "median-period",
+    "min-period",
+    "udp-flow-share",
+    "n-remote-ports",
+    "size-p25",
+    "size-p50",
+    "size-p75",
+    "size-max",
+    "size-mean",
+    "packets-per-s",
+    "bytes-per-s",
+    "inbound-share",
+)
+
+
+def device_fingerprint(trace: Trace) -> np.ndarray:
+    """Flow-level fingerprint of one device's capture window."""
+    if len(trace) == 0:
+        raise ValueError("cannot fingerprint an empty trace")
+    buckets: Dict[tuple, List[float]] = defaultdict(list)
+    udp_buckets = set()
+    remote_ports = set()
+    sizes = []
+    for packet in trace:
+        key = flow_key(packet, FlowDefinition.PORTLESS, trace.dns)
+        buckets[key].append(packet.timestamp)
+        if packet.protocol == "udp":
+            udp_buckets.add(key)
+        remote_ports.add(packet.remote_port)
+        sizes.append(packet.size)
+
+    periods = []
+    for timestamps in buckets.values():
+        if len(timestamps) >= 3:
+            diffs = np.diff(sorted(timestamps))
+            periods.append(float(np.median(diffs)))
+    duration = max(trace.duration, 1.0)
+    sizes_arr = np.asarray(sizes, dtype=float)
+    return np.asarray(
+        [
+            float(len(buckets)),
+            float(np.median(periods)) if periods else 0.0,
+            float(min(periods)) if periods else 0.0,
+            len(udp_buckets) / len(buckets),
+            float(len(remote_ports)),
+            float(np.percentile(sizes_arr, 25)),
+            float(np.percentile(sizes_arr, 50)),
+            float(np.percentile(sizes_arr, 75)),
+            float(sizes_arr.max()),
+            float(sizes_arr.mean()),
+            len(trace) / duration,
+            float(sizes_arr.sum()) / duration,
+            float(np.mean([p.direction.value == "in" for p in trace])),
+        ]
+    )
+
+
+class DeviceIdentifier:
+    """Classify a device's class from its bootstrap-window traffic."""
+
+    def __init__(self, model: Optional[Classifier] = None) -> None:
+        # A shallow tree handles the idle/active bimodality of the
+        # fingerprints; distance-based models average it away.
+        if model is None:
+            from ..ml.tree import DecisionTreeClassifier
+
+            model = DecisionTreeClassifier(max_depth=6, seed=0)
+        self.model = model
+        self.scaler = StandardScaler()
+        self._fitted = False
+
+    def fit(self, traces: Sequence[Trace], labels: Sequence[str]) -> "DeviceIdentifier":
+        """Train on labelled per-device capture windows."""
+        X = np.vstack([device_fingerprint(t) for t in traces])
+        y = np.asarray(labels)
+        self.model.fit(self.scaler.fit_transform(X), y)
+        self._fitted = True
+        return self
+
+    @classmethod
+    def fit_from_testbed(
+        cls,
+        n_windows: int = 4,
+        window_s: float = 900.0,
+        seed: int = 0,
+        model: Optional[Classifier] = None,
+    ) -> "DeviceIdentifier":
+        """Train from simulated captures of every testbed device.
+
+        Each device contributes ``n_windows`` independent bootstrap-length
+        capture windows labelled with its device class.
+        """
+        traces: List[Trace] = []
+        labels: List[str] = []
+        for w in range(n_windows):
+            # Alternate idle and active windows so the fingerprints stay
+            # robust to whether the user happened to be operating devices
+            # during the identification window.
+            if w % 2 == 0:
+                manual_interval = (window_s * 10, window_s * 20)  # idle
+            else:
+                manual_interval = (window_s / 4, window_s / 2)  # active
+            config = HouseholdConfig(
+                duration_s=window_s,
+                seed=seed + 1000 * w,
+                manual_interval_s=manual_interval,
+            )
+            result = Household(list(TESTBED), config).simulate()
+            for name, profile in TESTBED.items():
+                device_trace = result.trace.for_device(name)
+                if len(device_trace) == 0:
+                    continue
+                device_trace.dns = result.cloud.dns
+                traces.append(device_trace)
+                labels.append(profile.device_class)
+        identifier = cls(model=model)
+        return identifier.fit(traces, labels)
+
+    def identify(self, trace: Trace) -> str:
+        """Predict the device class of one capture window."""
+        if not self._fitted:
+            raise RuntimeError("identifier must be fitted before identify")
+        features = self.scaler.transform(device_fingerprint(trace).reshape(1, -1))
+        return str(self.model.predict(features)[0])
+
+    def identify_household(self, trace: Trace) -> Dict[str, str]:
+        """Identify every device present in a household capture."""
+        return {
+            device: self.identify(trace.for_device(device))
+            for device in trace.devices()
+        }

@@ -1,0 +1,167 @@
+"""Device-to-device interaction rules (paper §7, "Complex Scenarios").
+
+Some smart-home commands are issued by *other IoT devices*: a smart
+light controlled through Alexa, a camera triggered by a door sensor.
+By default FIAT drops such traffic — the command is manual-shaped but no
+humanness proof accompanies it (the user talked to the speaker; no
+companion app moved).  The paper proposes allowing explicitly
+configured *unidirectional* device-to-device flows, which "may lead to
+a set of rules following a Directed Acyclic Graph (DAG) among the IoT
+devices".
+
+:class:`DeviceInteractionGraph` implements that extension: edges declare
+"controller -> target" permissions, acyclicity is enforced on every
+insertion (a cycle would let two devices vouch for each other and
+launder arbitrary traffic), and :meth:`allows` answers the proxy's
+question for an intercepted packet.  Transitive control (Alexa -> hub ->
+light) is supported through :meth:`reachable`, but each *hop* must be an
+explicit edge — FIAT never infers permissions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..net.packet import Packet
+
+__all__ = ["InteractionRule", "DeviceInteractionGraph", "CycleError"]
+
+
+class CycleError(ValueError):
+    """Raised when adding an edge would create a control cycle."""
+
+
+@dataclass(frozen=True)
+class InteractionRule:
+    """One allowed unidirectional control relation."""
+
+    controller: str
+    target: str
+    #: optional restriction to specific cloud services (empty = any)
+    services: FrozenSet[str] = frozenset()
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.controller == self.target:
+            raise ValueError("a device cannot be its own controller")
+
+
+class DeviceInteractionGraph:
+    """DAG of allowed device-to-device control relations.
+
+    The graph is kept acyclic by construction; the proxy consults
+    :meth:`allows` for manual-shaped events whose origin is another
+    in-home device rather than the user's phone.
+    """
+
+    def __init__(self, rules: Optional[Iterable[InteractionRule]] = None) -> None:
+        self._edges: Dict[Tuple[str, str], InteractionRule] = {}
+        self._successors: Dict[str, Set[str]] = {}
+        for rule in rules or ():
+            self.add_rule(rule)
+
+    # -- construction --------------------------------------------------------------
+
+    def _would_cycle(self, controller: str, target: str) -> bool:
+        # a cycle exists iff controller is already reachable from target
+        return controller in self.reachable(target)
+
+    def add_rule(self, rule: InteractionRule) -> None:
+        """Install a rule; raises :class:`CycleError` on control cycles."""
+        if self._would_cycle(rule.controller, rule.target):
+            raise CycleError(
+                f"edge {rule.controller} -> {rule.target} would create a control cycle"
+            )
+        self._edges[(rule.controller, rule.target)] = rule
+        self._successors.setdefault(rule.controller, set()).add(rule.target)
+
+    def add_edge(self, controller: str, target: str, services: Iterable[str] = (),
+                 note: str = "") -> None:
+        """Convenience wrapper around :meth:`add_rule`."""
+        self.add_rule(
+            InteractionRule(
+                controller=controller,
+                target=target,
+                services=frozenset(services),
+                note=note,
+            )
+        )
+
+    def remove_edge(self, controller: str, target: str) -> bool:
+        """Remove a rule; returns whether it existed."""
+        rule = self._edges.pop((controller, target), None)
+        if rule is None:
+            return False
+        self._successors[controller].discard(target)
+        return True
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def rules(self) -> List[InteractionRule]:
+        """All installed rules."""
+        return list(self._edges.values())
+
+    def reachable(self, controller: str) -> Set[str]:
+        """All devices transitively controllable from ``controller``."""
+        seen: Set[str] = set()
+        queue = deque([controller])
+        while queue:
+            node = queue.popleft()
+            for successor in self._successors.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+        return seen
+
+    def allows(self, controller: str, target: str, service: Optional[str] = None) -> bool:
+        """Whether a direct edge permits ``controller`` to drive ``target``.
+
+        Only *direct* edges authorize traffic; transitive paths describe
+        what a controller can ultimately influence but every hop is
+        checked at its own interception point.
+        """
+        rule = self._edges.get((controller, target))
+        if rule is None:
+            return False
+        if rule.services and service is not None and service not in rule.services:
+            return False
+        return True
+
+    def allows_packet(self, packet: Packet, device_ips: Dict[str, str]) -> bool:
+        """Whether an intercepted packet is covered by an interaction rule.
+
+        ``device_ips`` maps device names to their LAN addresses; the
+        packet's non-target endpoint is matched against controllers.
+        """
+        ip_to_device = {ip: name for name, ip in device_ips.items()}
+        controller = ip_to_device.get(packet.remote_ip)
+        if controller is None:
+            return False
+        return self.allows(controller, packet.device)
+
+    def topological_order(self) -> List[str]:
+        """Devices in a control-before-controlled order (Kahn's algorithm)."""
+        indegree: Dict[str, int] = {}
+        nodes: Set[str] = set()
+        for controller, target in self._edges:
+            nodes.add(controller)
+            nodes.add(target)
+            indegree[target] = indegree.get(target, 0) + 1
+        queue = deque(sorted(n for n in nodes if indegree.get(n, 0) == 0))
+        order: List[str] = []
+        remaining = dict(indegree)
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for successor in sorted(self._successors.get(node, ())):
+                remaining[successor] -= 1
+                if remaining[successor] == 0:
+                    queue.append(successor)
+        if len(order) != len(nodes):  # pragma: no cover - guarded by add_rule
+            raise CycleError("interaction graph contains a cycle")
+        return order

@@ -1,0 +1,142 @@
+"""MUD-style profile export of FIAT's learned rules (related work, §8).
+
+The IETF's Manufacturer Usage Description (RFC 8520) formally specifies
+what traffic an IoT device is *supposed* to exchange; the paper cites
+MUD as the standards-track approach to the same problem FIAT learns
+automatically.  This module bridges the two: it serialises a learned
+:class:`~repro.core.rules.RuleTable` (plus optional §7 interaction
+rules) into a MUD-like JSON document — so a FIAT deployment can publish
+what it learned, diff it against a vendor-provided MUD file, or seed a
+new deployment of the same device model — and parses such documents
+back into rule tables.
+
+The format follows MUD's spirit (ACL entries per direction with
+endpoint/protocol matches) with FIAT-specific extensions for the
+PortLess flow identity (domain + size + inter-arrival bins).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..net.flows import FlowDefinition
+from .interactions import DeviceInteractionGraph, InteractionRule
+from .rules import RuleTable
+
+__all__ = ["export_profile", "import_profile", "PROFILE_VERSION"]
+
+PROFILE_VERSION = 1
+
+
+def _rule_entries(table: RuleTable) -> List[Dict[str, Any]]:
+    entries = []
+    for key, bins in sorted(table._rules.items(), key=lambda kv: str(kv[0])):
+        if table.definition is FlowDefinition.PORTLESS:
+            device_ip, remote, direction, proto, size = key
+            entries.append(
+                {
+                    "device-endpoint": device_ip,
+                    "remote": str(remote),
+                    "direction": direction,
+                    "protocol": proto,
+                    "packet-size": size,
+                    "iat-bins": sorted(int(b) for b in bins),
+                }
+            )
+        else:
+            src, dst, sport, dport, proto, size = key
+            entries.append(
+                {
+                    "src": src,
+                    "dst": dst,
+                    "src-port": sport,
+                    "dst-port": dport,
+                    "protocol": proto,
+                    "packet-size": size,
+                    "iat-bins": sorted(int(b) for b in bins),
+                }
+            )
+    return entries
+
+
+def export_profile(
+    device: str,
+    table: RuleTable,
+    interactions: Optional[DeviceInteractionGraph] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Serialise a device's learned profile to MUD-like JSON."""
+    document = {
+        "fiat-mud-version": PROFILE_VERSION,
+        "device": device,
+        "flow-definition": table.definition.value,
+        "iat-resolution-s": table.resolution,
+        "neighbor-bins": table.neighbor_bins,
+        "acl": _rule_entries(table),
+        "interactions": [
+            {
+                "controller": rule.controller,
+                "target": rule.target,
+                "services": sorted(rule.services),
+                "note": rule.note,
+            }
+            for rule in (interactions.rules() if interactions else [])
+        ],
+        "metadata": metadata or {},
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def import_profile(document: str) -> Dict[str, Any]:
+    """Parse a profile back into a rule table (+ interaction graph).
+
+    Returns ``{"device", "table", "interactions", "metadata"}``.
+    Raises :class:`ValueError` on version mismatch or malformed input.
+    """
+    data = json.loads(document)
+    version = data.get("fiat-mud-version")
+    if version != PROFILE_VERSION:
+        raise ValueError(f"unsupported profile version {version!r}")
+    definition = FlowDefinition(data["flow-definition"])
+    table = RuleTable(
+        definition=definition,
+        dns=None,
+        resolution=float(data["iat-resolution-s"]),
+        neighbor_bins=int(data["neighbor-bins"]),
+    )
+    for entry in data.get("acl", []):
+        bins = {int(b) for b in entry["iat-bins"]}
+        if definition is FlowDefinition.PORTLESS:
+            key = (
+                entry["device-endpoint"],
+                entry["remote"],
+                entry["direction"],
+                entry["protocol"],
+                int(entry["packet-size"]),
+            )
+        else:
+            key = (
+                entry["src"],
+                entry["dst"],
+                int(entry["src-port"]),
+                int(entry["dst-port"]),
+                entry["protocol"],
+                int(entry["packet-size"]),
+            )
+        table.add_rule(key, bins)
+    graph = DeviceInteractionGraph(
+        InteractionRule(
+            controller=item["controller"],
+            target=item["target"],
+            services=frozenset(item.get("services", ())),
+            note=item.get("note", ""),
+        )
+        for item in data.get("interactions", [])
+    )
+    return {
+        "device": data["device"],
+        "table": table,
+        "interactions": graph,
+        "metadata": data.get("metadata", {}),
+    }

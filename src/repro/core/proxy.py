@@ -1,0 +1,307 @@
+"""FIAT's server-side IoT proxy (paper §5.4, Figure 4).
+
+The proxy sits on-path for all home IoT traffic (ARP spoofing + NFQUEUE
+in the paper's prototype; here it is fed packets in timestamp order) and
+runs the access-control pipeline of Figure 4:
+
+1. **Bootstrap** (first 20 minutes): all traffic is allowed while the
+   bucket heuristic learns recurring flows; at the end the recurring
+   buckets are frozen into an allow-rule table.
+2. **Rule match**: a packet hitting a rule is *predictable* — allowed.
+3. **Event grouping**: rule misses join the device's current
+   unpredictable event (5-second gap rule).
+4. **Manual-event classification**: when the decision prefix is
+   complete (first packet for rule devices, first N=5 packets for
+   BernoulliNB devices) the event is classified.  Non-manual events are
+   allowed in full.
+5. **Humanness check**: manual events are allowed only when a fresh
+   verified-human interaction with the device's companion app exists;
+   otherwise the remaining event packets are dropped, the user is
+   notified, and repeated violations within a short window disconnect
+   the device (brute-force friction).
+
+Every unpredictable event produces an :class:`EventDecision` record —
+the proxy keeps logs of all unpredictable events and validations, which
+§7 argues an attacker cannot scrub without breaking the TEE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..events.grouping import UnpredictableEvent
+from ..net.dns import DnsTable
+from ..net.packet import Packet, TrafficClass
+from ..net.trace import Trace
+from ..predictability.buckets import BucketPredictor
+from .classifier import EventClassifier
+from .config import FiatConfig
+from .interactions import DeviceInteractionGraph
+from .rules import RuleTable
+from .validation import HumanValidationService
+
+__all__ = ["EventDecision", "Alert", "FiatProxy"]
+
+
+@dataclass
+class EventDecision:
+    """Outcome of one unpredictable event at the proxy."""
+
+    device: str
+    start: float
+    n_packets: int
+    predicted_manual: bool
+    human_backed: Optional[bool]  # None when the check was not needed
+    action: str  # "allow" | "drop"
+    truth: str  # ground-truth class (evaluation only; unused by logic)
+    event_id: Optional[str] = None
+
+    @property
+    def blocked(self) -> bool:
+        """Whether the event's tail was dropped."""
+        return self.action == "drop"
+
+
+@dataclass
+class Alert:
+    """A user-facing notification of a potential security breach."""
+
+    device: str
+    timestamp: float
+    reason: str
+
+
+@dataclass
+class _OpenEvent:
+    packets: List[Packet] = field(default_factory=list)
+    decided: bool = False
+    allow: bool = True
+    predicted_manual: bool = False
+    human_backed: Optional[bool] = None
+
+    @property
+    def last_time(self) -> float:
+        return self.packets[-1].timestamp if self.packets else 0.0
+
+
+class FiatProxy:
+    """The in-home FIAT proxy: learn, then authorize or drop."""
+
+    def __init__(
+        self,
+        config: FiatConfig,
+        dns: Optional[DnsTable],
+        classifiers: Dict[str, EventClassifier],
+        validation: HumanValidationService,
+        app_for_device: Dict[str, str],
+        start_time: float = 0.0,
+        interactions: Optional["DeviceInteractionGraph"] = None,
+        device_ips: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.config = config
+        self.classifiers = classifiers
+        self.validation = validation
+        self.app_for_device = app_for_device
+        #: §7 "Complex Scenarios": DAG of allowed device-to-device control
+        self.interactions = interactions
+        self.device_ips = device_ips or {}
+        self._bootstrap_end = start_time + config.bootstrap_s
+        self._predictor = BucketPredictor(
+            definition=config.flow_definition,
+            dns=dns,
+            resolution=config.iat_resolution,
+        )
+        self._rules: Optional[RuleTable] = None
+        self._next_refresh: Optional[float] = None
+        self._open: Dict[str, _OpenEvent] = {}
+        self._violations: Dict[str, List[float]] = {}
+        self._locked: Dict[str, float] = {}
+        self.decisions: List[EventDecision] = []
+        self.alerts: List[Alert] = []
+        self.n_allowed = 0
+        self.n_dropped = 0
+
+    # -- auth channel -------------------------------------------------------------
+
+    def receive_auth(self, wire: bytes, now: float) -> None:
+        """Feed an authentication message from the FIAT app."""
+        self.validation.ingest(wire, now)
+
+    # -- lockout ------------------------------------------------------------------
+
+    def is_locked(self, device: str) -> bool:
+        """Whether the device is disconnected pending user action."""
+        return device in self._locked
+
+    def unlock(self, device: str) -> None:
+        """User manually re-authorizes a disconnected device."""
+        self._locked.pop(device, None)
+        self._violations.pop(device, None)
+
+    def _record_violation(self, device: str, now: float) -> None:
+        history = self._violations.setdefault(device, [])
+        history.append(now)
+        cutoff = now - self.config.lockout_window_s
+        history[:] = [t for t in history if t >= cutoff]
+        if len(history) >= self.config.lockout_threshold:
+            self._locked[device] = now
+            self.alerts.append(
+                Alert(device=device, timestamp=now, reason="brute-force lockout")
+            )
+
+    # -- event lifecycle ----------------------------------------------------------
+
+    def _decision_prefix(self, device: str) -> int:
+        classifier = self.classifiers.get(device)
+        if classifier is not None and classifier.uses_rules:
+            return 1
+        return self.config.first_n_packets
+
+    def _decide(self, device: str, event: _OpenEvent, now: float) -> None:
+        classifier = self.classifiers.get(device)
+        if classifier is None:
+            # Unknown device: fail open on classification (the paper's
+            # production vision downloads a model per identified device).
+            event.decided = True
+            event.allow = True
+            event.predicted_manual = False
+            return
+        prefix = event.packets[: self._decision_prefix(device)]
+        manual = classifier.is_manual(prefix)
+        event.decided = True
+        event.predicted_manual = manual
+        if not manual:
+            event.allow = True
+            return
+        # §7 extension: a manual-shaped command originating from another
+        # in-home device is allowed when an interaction-DAG edge covers
+        # the (controller, target) pair (e.g. Alexa -> smart light).
+        if self.interactions is not None and any(
+            self.interactions.allows_packet(p, self.device_ips) for p in prefix
+        ):
+            event.allow = True
+            event.human_backed = None
+            return
+        app = self.app_for_device.get(device, "")
+        human = self.validation.has_recent_human(app, now)
+        event.human_backed = human
+        event.allow = human
+        if not human:
+            self.alerts.append(
+                Alert(
+                    device=device,
+                    timestamp=now,
+                    reason="unverified manual traffic dropped",
+                )
+            )
+            self._record_violation(device, now)
+
+    def _close_event(self, device: str, event: _OpenEvent) -> None:
+        if not event.packets:
+            return
+        if not event.decided:
+            self._decide(device, event, event.last_time)
+        truth = UnpredictableEvent(packets=event.packets).majority_class()
+        truth_label = "manual" if truth in (TrafficClass.MANUAL, TrafficClass.ATTACK) else truth.value
+        self.decisions.append(
+            EventDecision(
+                device=device,
+                start=event.packets[0].timestamp,
+                n_packets=len(event.packets),
+                predicted_manual=event.predicted_manual,
+                human_backed=event.human_backed,
+                action="allow" if event.allow else "drop",
+                truth=truth_label,
+                event_id=event.packets[0].event_id,
+            )
+        )
+
+    # -- main entry point ---------------------------------------------------------
+
+    def process(self, packet: Packet) -> bool:
+        """Process one packet; return ``True`` when it is forwarded."""
+        now = packet.timestamp
+        device = packet.device
+
+        # Bootstrap: learn, allow everything.
+        if now < self._bootstrap_end:
+            self._predictor.observe(packet)
+            self.n_allowed += 1
+            return True
+        if self._rules is None:
+            self._rules = RuleTable.from_predictor(self._predictor)
+            self._next_refresh = (
+                now + self.config.rule_refresh_s
+                if self.config.rule_refresh_s is not None
+                else None
+            )
+
+        # Drift adaptation (§7): keep learning, refresh and age rules.
+        if self.config.rule_refresh_s is not None:
+            self._predictor.observe(packet)
+            if self._next_refresh is not None and now >= self._next_refresh:
+                self._rules.merge_from_predictor(
+                    self._predictor, now, max_idle_s=self.config.rule_ttl_s
+                )
+                if self.config.rule_ttl_s is not None:
+                    self._rules.expire_stale(now, self.config.rule_ttl_s)
+                self._next_refresh = now + self.config.rule_refresh_s
+
+        if self.is_locked(device):
+            self.n_dropped += 1
+            return False
+
+        if self._rules.matches(packet):
+            self.n_allowed += 1
+            return True
+
+        # Unpredictable: event grouping per device.
+        event = self._open.get(device)
+        if event is not None and now - event.last_time > self.config.event_gap_s:
+            self._close_event(device, event)
+            event = None
+        if event is None:
+            event = _OpenEvent()
+            self._open[device] = event
+        event.packets.append(packet)
+
+        if not event.decided and len(event.packets) >= self._decision_prefix(device):
+            # Decide exactly once the decision prefix is complete.  For
+            # rule devices this happens on the first packet, *before*
+            # forwarding it (the proxy delays packets via NFQUEUE), so a
+            # one-packet plug command can still be blocked.
+            self._decide(device, event, now)
+
+        if event.decided:
+            allowed = event.allow
+        else:
+            allowed = True  # within the allowed first-N prefix
+        if allowed:
+            self.n_allowed += 1
+        else:
+            self.n_dropped += 1
+        return allowed
+
+    def run_trace(self, trace: Trace) -> None:
+        """Convenience: process a whole trace in timestamp order."""
+        for packet in trace:
+            self.process(packet)
+        self.flush()
+
+    def flush(self) -> None:
+        """Close all open events (end of capture)."""
+        for device, event in list(self._open.items()):
+            self._close_event(device, event)
+        self._open.clear()
+
+    # -- evaluation helpers -------------------------------------------------------
+
+    @property
+    def rules(self) -> Optional[RuleTable]:
+        """The frozen rule table (``None`` while bootstrapping)."""
+        return self._rules
+
+    def decisions_for(self, device: str) -> List[EventDecision]:
+        """Decision records of one device."""
+        return [d for d in self.decisions if d.device == device]

@@ -1,0 +1,92 @@
+"""Proxy-side humanness validation service (paper §5.4).
+
+Receives authentication messages from the FIAT app over the secure
+channel, runs the zkSENSE-style humanness classifier on the carried
+sensor features, and keeps a short-lived registry of *verified human
+interactions* per companion app.  The proxy's access control asks this
+service whether a manual event is backed by a fresh human interaction
+with the right app on a pre-authorized device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..crypto.replay import ReplayCache
+from ..quic.channel import AuthMessage, ChannelReceiver
+from ..crypto.keystore import SecureKeystore
+from ..sensors.humanness import HumannessValidator
+
+__all__ = ["ValidatedInteraction", "HumanValidationService"]
+
+
+@dataclass(frozen=True)
+class ValidatedInteraction:
+    """One accepted humanness proof."""
+
+    app_package: str
+    device_id: str
+    verified_at: float
+    human: bool
+
+
+class HumanValidationService:
+    """Channel receiver + humanness classifier + interaction registry."""
+
+    def __init__(
+        self,
+        keystore: SecureKeystore,
+        validator: Optional[HumannessValidator] = None,
+        validity_s: float = 60.0,
+        freshness_s: float = 30.0,
+    ) -> None:
+        self.receiver = ChannelReceiver(
+            keystore, replay_cache=ReplayCache(), freshness_window_s=freshness_s
+        )
+        self.validator = validator if validator is not None else HumannessValidator().fit()
+        self.validity_s = validity_s
+        self._interactions: List[ValidatedInteraction] = []
+        self.n_rejected_channel = 0
+        self.n_non_human = 0
+
+    def ingest(self, wire: bytes, now: float) -> Optional[ValidatedInteraction]:
+        """Process one incoming authentication message.
+
+        Returns the recorded interaction, or ``None`` when the channel
+        layer rejected the message (bad signature / stale / replay).
+        Messages whose sensor features fail the humanness check are
+        recorded with ``human=False`` — they must *not* authorize manual
+        traffic, but they still matter for logging (§7: FIAT keeps logs
+        of all unpredictable events and validations).
+        """
+        message = self.receiver.receive(wire, now)
+        if message is None:
+            self.n_rejected_channel += 1
+            return None
+        human = self.validator.is_human_features(np.asarray(message.sensor_features))
+        if not human:
+            self.n_non_human += 1
+        interaction = ValidatedInteraction(
+            app_package=message.app_package,
+            device_id=message.device_id,
+            verified_at=now,
+            human=human,
+        )
+        self._interactions.append(interaction)
+        return interaction
+
+    def has_recent_human(self, app_package: str, now: float) -> bool:
+        """Whether a fresh verified-human interaction exists for the app."""
+        cutoff = now - self.validity_s
+        return any(
+            i.human and i.app_package == app_package and i.verified_at >= cutoff
+            for i in reversed(self._interactions)
+        )
+
+    def prune(self, now: float) -> None:
+        """Drop interactions older than the validity window."""
+        cutoff = now - self.validity_s
+        self._interactions = [i for i in self._interactions if i.verified_at >= cutoff]

@@ -1,0 +1,13 @@
+"""Crypto substrate: TEE-like keystore, pairing, signing, replay protection."""
+
+from .keystore import KeystoreError, SecureKeystore, SignedMessage, pair, payload_digest
+from .replay import ReplayCache
+
+__all__ = [
+    "SecureKeystore",
+    "SignedMessage",
+    "KeystoreError",
+    "pair",
+    "payload_digest",
+    "ReplayCache",
+]

@@ -1,0 +1,128 @@
+"""TEE-backed keystore, pairing and message signing (paper §5.3-5.4).
+
+FIAT stores a pre-shared key agreed at pairing time inside the phone's
+trusted execution environment (Android secure keystore) and the proxy's
+SGX enclave; the threat model assumes attackers cannot extract it.  This
+module models that contract: :class:`SecureKeystore` never exposes key
+bytes through its public API (they live in a private attribute, standing
+in for TEE isolation), and exposes only ``sign``/``verify`` operations
+(HMAC-SHA256).  :func:`pair` performs the local pairing step — e.g.
+scanning a QR code on the proxy — producing two keystores sharing a key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import secrets
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["SecureKeystore", "SignedMessage", "pair", "KeystoreError"]
+
+
+class KeystoreError(Exception):
+    """Raised on signing/verification misuse (unknown key, bad alias)."""
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A serialised payload plus its authentication tag."""
+
+    payload: bytes
+    signature: str
+    key_alias: str
+
+    def to_wire(self) -> bytes:
+        """Encode for transmission over the QUIC channel."""
+        envelope = {
+            "payload": self.payload.hex(),
+            "signature": self.signature,
+            "key_alias": self.key_alias,
+        }
+        return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "SignedMessage":
+        """Decode a message received from the channel."""
+        envelope = json.loads(wire.decode("utf-8"))
+        return cls(
+            payload=bytes.fromhex(envelope["payload"]),
+            signature=str(envelope["signature"]),
+            key_alias=str(envelope["key_alias"]),
+        )
+
+
+class SecureKeystore:
+    """Hardware-keystore stand-in: holds keys, exposes only sign/verify.
+
+    Keys are referenced by alias; raw key material is kept in a private
+    mapping and deliberately not reachable via any public method,
+    mirroring the TEE guarantee FIAT relies on.
+    """
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self.__keys: Dict[str, bytes] = {}
+
+    def generate_key(self, alias: str) -> None:
+        """Create a fresh random 256-bit key under ``alias``."""
+        self.__keys[alias] = secrets.token_bytes(32)
+
+    def install_key(self, alias: str, key: bytes) -> None:
+        """Install externally agreed key material (pairing only)."""
+        if len(key) < 16:
+            raise KeystoreError("key material too short (min 16 bytes)")
+        self.__keys[alias] = bytes(key)
+
+    def has_key(self, alias: str) -> bool:
+        """Whether a key exists under ``alias``."""
+        return alias in self.__keys
+
+    def _key(self, alias: str) -> bytes:
+        try:
+            return self.__keys[alias]
+        except KeyError:
+            raise KeystoreError(f"no key under alias {alias!r}") from None
+
+    def sign(self, alias: str, payload: bytes) -> SignedMessage:
+        """HMAC-SHA256 sign ``payload`` with the key under ``alias``."""
+        tag = hmac.new(self._key(alias), payload, hashlib.sha256).hexdigest()
+        return SignedMessage(payload=payload, signature=tag, key_alias=alias)
+
+    def verify(self, message: SignedMessage) -> bool:
+        """Constant-time verification of a signed message.
+
+        Unknown aliases verify as ``False`` (an unauthorized device), not
+        as an error: the proxy must reject, not crash, on foreign input.
+        """
+        if message.key_alias not in self.__keys:
+            return False
+        expected = hmac.new(
+            self._key(message.key_alias), message.payload, hashlib.sha256
+        ).hexdigest()
+        return hmac.compare_digest(expected, message.signature)
+
+
+def pair(
+    phone_owner: str, proxy_owner: str, alias: str = "fiat-pairing"
+) -> Tuple[SecureKeystore, SecureKeystore]:
+    """Local pairing: create two keystores sharing a fresh key.
+
+    Models the QR-code / audio pairing of §5.4: the shared secret is
+    produced once and installed into both TEEs; it never travels over
+    the network afterwards.
+    """
+    shared = secrets.token_bytes(32)
+    phone = SecureKeystore(phone_owner)
+    proxy = SecureKeystore(proxy_owner)
+    phone.install_key(alias, shared)
+    proxy.install_key(alias, shared)
+    return phone, proxy
+
+
+def payload_digest(payload: Any) -> str:
+    """Stable SHA-256 digest of a JSON-serialisable payload (for replay IDs)."""
+    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

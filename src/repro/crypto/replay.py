@@ -1,0 +1,71 @@
+"""Replay protection for QUIC 0-RTT authentication messages (paper §5.3).
+
+QUIC 0-RTT is vulnerable to replay: an adversary can resend a previously
+captured early-data packet unmodified.  The paper argues that, because
+only a few devices are authorized per household, the IoT proxy can keep
+state of all previously seen connections and reject replays.
+:class:`ReplayCache` implements that state: a bounded, time-windowed set
+of message identifiers (nonce or payload digest); re-observing an
+identifier within the window is a replay.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["ReplayCache"]
+
+
+class ReplayCache:
+    """Time-windowed duplicate detector for authentication messages.
+
+    Parameters
+    ----------
+    window_seconds:
+        How long an identifier stays "hot".  Within the window, a second
+        occurrence is flagged as replay; afterwards the identifier is
+        evicted (the accompanying freshness timestamp check makes stale
+        replays useless anyway).
+    max_entries:
+        Hard memory bound; the oldest entries are evicted first.
+    """
+
+    def __init__(self, window_seconds: float = 600.0, max_entries: int = 100_000) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.window_seconds = window_seconds
+        self.max_entries = max_entries
+        self._seen: "OrderedDict[str, float]" = OrderedDict()
+        self.n_replays_detected = 0
+
+    def _evict(self, now: float) -> None:
+        while self._seen:
+            _, oldest_time = next(iter(self._seen.items()))
+            if now - oldest_time > self.window_seconds or len(self._seen) > self.max_entries:
+                self._seen.popitem(last=False)
+            else:
+                break
+
+    def check_and_register(self, identifier: str, now: float) -> bool:
+        """Register an identifier; return ``True`` if it is fresh.
+
+        ``False`` means the identifier was already seen inside the window
+        — a replay.  Fresh identifiers are recorded.
+        """
+        self._evict(now)
+        if identifier in self._seen and now - self._seen[identifier] <= self.window_seconds:
+            self.n_replays_detected += 1
+            return False
+        self._seen[identifier] = now
+        self._seen.move_to_end(identifier)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def clear(self) -> None:
+        """Drop all state (e.g. on re-pairing)."""
+        self._seen.clear()

@@ -1,0 +1,17 @@
+"""Synthetic stand-ins for the public datasets analysed in §2."""
+
+from .inspector import generate_inspector, inspector_device_predictability
+from .moniotr import generate_moniotr_active, generate_moniotr_idle
+from .synthetic import SyntheticDeviceSpec, generate_corpus, generate_device_trace
+from .yourthings import generate_yourthings
+
+__all__ = [
+    "SyntheticDeviceSpec",
+    "generate_corpus",
+    "generate_device_trace",
+    "generate_yourthings",
+    "generate_moniotr_idle",
+    "generate_moniotr_active",
+    "generate_inspector",
+    "inspector_device_predictability",
+]

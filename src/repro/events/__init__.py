@@ -1,0 +1,14 @@
+"""Event layer: unpredictable-event grouping and ground-truth labelling."""
+
+from .grouping import EVENT_GAP_SECONDS, UnpredictableEvent, group_events
+from .labeling import GroundTruthLog, InteractionWindow, RoutineFiring, label_trace
+
+__all__ = [
+    "EVENT_GAP_SECONDS",
+    "UnpredictableEvent",
+    "group_events",
+    "GroundTruthLog",
+    "InteractionWindow",
+    "RoutineFiring",
+    "label_trace",
+]

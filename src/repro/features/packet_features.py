@@ -1,0 +1,187 @@
+"""66-feature extraction from unpredictable events (paper §4.1).
+
+The paper selects 66 features over the first (up to) 5 packets of each
+unpredictable event: per-packet direction, remote (destination) IP
+octets, protocol, TCP flags, source and destination ports, TLS version,
+packet length and inter-arrival times, plus aggregate statistics (means
+of sizes and IATs, counts, duration).
+
+The exact layout reproduced here (matching the names visible in the
+paper's Table 4, e.g. ``pkt1-proto``, ``pkt3-tls``, ``pkt1-dst-ip1``):
+
+* per packet ``i`` in 1..5 (11 features x 5 = 55):
+  ``pkt{i}-direction``, ``pkt{i}-proto``, ``pkt{i}-tcp-flags``,
+  ``pkt{i}-tls``, ``pkt{i}-len``, ``pkt{i}-src-port``,
+  ``pkt{i}-dst-port``, ``pkt{i}-dst-ip1`` .. ``pkt{i}-dst-ip4``;
+* inter-arrival times ``pkt{i}-iat`` for ``i`` in 2..5 (4 features);
+* aggregates (7 features): ``n-packets``, ``total-bytes``, ``mean-len``,
+  ``std-len``, ``mean-iat``, ``std-iat``, ``duration``.
+
+Total: 55 + 4 + 7 = **66**.  Events shorter than 5 packets are
+zero-padded, which BernoulliNB's default binarisation naturally treats
+as "feature absent".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..events.grouping import UnpredictableEvent
+from ..net.packet import Direction, Packet
+
+__all__ = [
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "FIRST_N_PACKETS",
+    "event_features",
+    "events_to_matrix",
+    "event_labels",
+]
+
+#: Number of leading packets examined per event (paper: N = 5).
+FIRST_N_PACKETS = 5
+
+
+def _build_feature_names(n: int = FIRST_N_PACKETS) -> List[str]:
+    names: List[str] = []
+    for i in range(1, n + 1):
+        names.extend(
+            [
+                f"pkt{i}-direction",
+                f"pkt{i}-proto",
+                f"pkt{i}-tcp-flags",
+                f"pkt{i}-tls",
+                f"pkt{i}-len",
+                f"pkt{i}-src-port",
+                f"pkt{i}-dst-port",
+                f"pkt{i}-dst-ip1",
+                f"pkt{i}-dst-ip2",
+                f"pkt{i}-dst-ip3",
+                f"pkt{i}-dst-ip4",
+            ]
+        )
+    names.extend(f"pkt{i}-iat" for i in range(2, n + 1))
+    names.extend(
+        ["n-packets", "total-bytes", "mean-len", "std-len", "mean-iat", "std-iat", "duration"]
+    )
+    return names
+
+
+#: Canonical feature names, aligned with the columns of `event_features`.
+FEATURE_NAMES: Tuple[str, ...] = tuple(_build_feature_names())
+
+#: Feature vector length (66 in the paper's configuration).
+N_FEATURES = len(FEATURE_NAMES)
+
+
+def _ip_octets(ip: str) -> Tuple[float, float, float, float]:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        return (0.0, 0.0, 0.0, 0.0)
+    try:
+        return tuple(float(int(p)) for p in parts)  # type: ignore[return-value]
+    except ValueError:
+        return (0.0, 0.0, 0.0, 0.0)
+
+
+def _packet_row(packet: Packet) -> List[float]:
+    octets = _ip_octets(packet.remote_ip)
+    return [
+        1.0 if packet.direction is Direction.OUTBOUND else 0.0,
+        1.0 if packet.protocol == "tcp" else 0.0,
+        float(packet.tcp_flags),
+        float(packet.tls_version),
+        float(packet.size),
+        float(packet.src_port),
+        float(packet.dst_port),
+        *octets,
+    ]
+
+
+def event_features(event: UnpredictableEvent, n: int = FIRST_N_PACKETS) -> np.ndarray:
+    """Extract the 66-dimensional feature vector of one event.
+
+    Only the first ``n`` packets contribute per-packet features; the
+    aggregate statistics are likewise computed over those packets (the
+    classifier must decide before the event completes — §3.3's command
+    duration argument).
+    """
+    if len(event) == 0:
+        raise ValueError("cannot featurise an empty event")
+    head = event.first_n(n)
+    row: List[float] = []
+    for i in range(n):
+        if i < len(head):
+            row.extend(_packet_row(head[i]))
+        else:
+            row.extend([0.0] * 11)
+    timestamps = np.array([p.timestamp for p in head])
+    iats = np.diff(timestamps)
+    for i in range(n - 1):
+        row.append(float(iats[i]) if i < len(iats) else 0.0)
+    sizes = np.array([float(p.size) for p in head])
+    row.extend(
+        [
+            float(len(head)),
+            float(sizes.sum()),
+            float(sizes.mean()),
+            float(sizes.std()),
+            float(iats.mean()) if len(iats) else 0.0,
+            float(iats.std()) if len(iats) else 0.0,
+            float(timestamps[-1] - timestamps[0]),
+        ]
+    )
+    return np.asarray(row, dtype=float)
+
+
+def events_to_matrix(
+    events: Sequence[UnpredictableEvent], n: int = FIRST_N_PACKETS
+) -> np.ndarray:
+    """Stack event feature vectors into a ``(n_events, 66)`` matrix."""
+    if not events:
+        return np.empty((0, N_FEATURES))
+    return np.vstack([event_features(event, n) for event in events])
+
+
+def event_sequences(
+    events: Sequence[UnpredictableEvent], n: int = FIRST_N_PACKETS
+) -> List[np.ndarray]:
+    """Per-event packet-feature *sequences* for temporal models (§7).
+
+    Each event maps to a ``(t_i, 12)`` array: the 11 per-packet features
+    of :func:`event_features` plus the inter-arrival time from the
+    previous packet (0 for the first), for up to ``n`` leading packets.
+    Consumed by :class:`repro.ml.SimpleRNNClassifier`.
+    """
+    sequences: List[np.ndarray] = []
+    for event in events:
+        head = event.first_n(n)
+        rows = []
+        previous_time = None
+        for packet in head:
+            iat = 0.0 if previous_time is None else packet.timestamp - previous_time
+            previous_time = packet.timestamp
+            rows.append(_packet_row(packet) + [iat])
+        sequences.append(np.asarray(rows, dtype=float))
+    return sequences
+
+
+def event_labels(events: Sequence[UnpredictableEvent], binary: bool = False) -> np.ndarray:
+    """Ground-truth labels for events.
+
+    With ``binary=False`` (default) returns the three-way label the §4
+    classifier learns: ``"control"`` / ``"automated"`` / ``"manual"``
+    (attack events count as manual — they imitate manual commands).
+    With ``binary=True`` returns ``"manual"`` / ``"non_manual"``.
+    """
+    labels = []
+    for event in events:
+        cls = event.majority_class().value
+        if cls == "attack":
+            cls = "manual"
+        if binary:
+            cls = "manual" if cls == "manual" else "non_manual"
+        labels.append(cls)
+    return np.asarray(labels)

@@ -1,0 +1,98 @@
+"""48-feature extraction from motion-sensor windows (paper §5.4).
+
+FIAT's humanness validator follows zkSENSE: a decision-tree classifier
+over **48 features extracted from the gyroscope and accelerometer**.
+With 6 axes (accelerometer x/y/z + gyroscope x/y/z) and 8 statistics per
+axis, the vector is 6 x 8 = 48 features:
+
+``mean``, ``std``, ``min``, ``max``, ``range``, ``rms`` (signal energy),
+``mad`` (mean absolute successive difference — captures jerk) and
+``peaks`` (count of local maxima above one standard deviation — captures
+discrete touch impulses).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SENSOR_AXES",
+    "AXIS_STATS",
+    "SENSOR_FEATURE_NAMES",
+    "N_SENSOR_FEATURES",
+    "axis_statistics",
+    "sensor_features",
+    "windows_to_matrix",
+]
+
+#: Sensor axes in feature order.
+SENSOR_AXES: Tuple[str, ...] = ("acc-x", "acc-y", "acc-z", "gyro-x", "gyro-y", "gyro-z")
+
+#: Per-axis statistics in feature order.
+AXIS_STATS: Tuple[str, ...] = ("mean", "std", "min", "max", "range", "rms", "mad", "peaks")
+
+#: Canonical 48 feature names, ``<axis>-<stat>``.
+SENSOR_FEATURE_NAMES: Tuple[str, ...] = tuple(
+    f"{axis}-{stat}" for axis in SENSOR_AXES for stat in AXIS_STATS
+)
+
+#: Sensor feature vector length (48, matching zkSENSE).
+N_SENSOR_FEATURES = len(SENSOR_FEATURE_NAMES)
+
+
+def _count_peaks(samples: np.ndarray) -> int:
+    """Local maxima exceeding mean + 1 std (discrete touch impulses)."""
+    if len(samples) < 3:
+        return 0
+    threshold = samples.mean() + samples.std()
+    interior = samples[1:-1]
+    is_peak = (interior > samples[:-2]) & (interior > samples[2:]) & (interior > threshold)
+    return int(np.count_nonzero(is_peak))
+
+
+def axis_statistics(samples: np.ndarray) -> List[float]:
+    """The 8 per-axis statistics, in :data:`AXIS_STATS` order."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        return [0.0] * len(AXIS_STATS)
+    diffs = np.abs(np.diff(samples)) if samples.size > 1 else np.zeros(1)
+    return [
+        float(samples.mean()),
+        float(samples.std()),
+        float(samples.min()),
+        float(samples.max()),
+        float(samples.max() - samples.min()),
+        float(np.sqrt(np.mean(samples**2))),
+        float(diffs.mean()),
+        float(_count_peaks(samples)),
+    ]
+
+
+def sensor_features(window: np.ndarray) -> np.ndarray:
+    """48-dimensional feature vector of one sensor window.
+
+    Parameters
+    ----------
+    window:
+        Array of shape ``(n_samples, 6)``: columns are accelerometer
+        x/y/z then gyroscope x/y/z, sampled at a fixed rate (the paper
+        samples at 250 Hz).
+    """
+    window = np.asarray(window, dtype=float)
+    if window.ndim != 2 or window.shape[1] != len(SENSOR_AXES):
+        raise ValueError(
+            f"window must have shape (n, {len(SENSOR_AXES)}), got {window.shape}"
+        )
+    row: List[float] = []
+    for axis in range(window.shape[1]):
+        row.extend(axis_statistics(window[:, axis]))
+    return np.asarray(row, dtype=float)
+
+
+def windows_to_matrix(windows: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack sensor windows into an ``(n_windows, 48)`` feature matrix."""
+    if not windows:
+        return np.empty((0, N_SENSOR_FEATURES))
+    return np.vstack([sensor_features(window) for window in windows])

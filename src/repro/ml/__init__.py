@@ -1,0 +1,76 @@
+"""Mini-ML library: from-scratch NumPy versions of the paper's classifiers.
+
+Replaces scikit-learn, which is unavailable offline.  Implements every
+model in the paper's Table 2 plus the shared preprocessing, metrics,
+cross-validation and permutation-importance machinery.
+"""
+
+from .base import Classifier, check_X, check_Xy, clone
+from .ensemble import AdaBoostClassifier, RandomForestClassifier
+from .inspection import (
+    manual_f1_scorer,
+    permutation_importance,
+    rank_features,
+    sampling_shapley_importance,
+)
+from .metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+)
+from .model_selection import (
+    StratifiedKFold,
+    cross_val_score,
+    cross_validate,
+    grid_search,
+    train_test_split,
+)
+from .naive_bayes import BernoulliNB, GaussianNB
+from .nearest import KNeighborsClassifier, NearestCentroidClassifier, pairwise_distances
+from .persistence import load_model, save_model
+from .neural import MLPClassifier
+from .preprocessing import LabelEncoder, StandardScaler
+from .recurrent import SimpleRNNClassifier, pad_sequences
+from .svm import LinearSVC
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "clone",
+    "check_X",
+    "check_Xy",
+    "NearestCentroidClassifier",
+    "KNeighborsClassifier",
+    "pairwise_distances",
+    "BernoulliNB",
+    "GaussianNB",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "AdaBoostClassifier",
+    "LinearSVC",
+    "MLPClassifier",
+    "SimpleRNNClassifier",
+    "pad_sequences",
+    "StandardScaler",
+    "LabelEncoder",
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_validate",
+    "cross_val_score",
+    "grid_search",
+    "save_model",
+    "load_model",
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "precision_recall_f1",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+    "permutation_importance",
+    "manual_f1_scorer",
+    "rank_features",
+    "sampling_shapley_importance",
+]

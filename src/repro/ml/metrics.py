@@ -1,0 +1,131 @@
+"""Classification metrics used throughout the paper's evaluation.
+
+* **balanced accuracy** (Table 2) — macro-average of per-class recall,
+  used to neutralise the skewed control/automated/manual class mix;
+* **precision / recall / F1** (Tables 3, 5, 6) — per class or averaged;
+* **confusion matrix** — underlying all of the above.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "precision_recall_f1",
+    "f1_score",
+    "classification_report",
+]
+
+
+def _align(y_true: Any, y_pred: Any) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true shape {y_true.shape} != y_pred shape {y_pred.shape}"
+        )
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    return y_true, y_pred, labels
+
+
+def confusion_matrix(
+    y_true: Any, y_pred: Any, labels: Optional[Sequence[Any]] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Confusion matrix ``C[i, j]`` = #samples of class i predicted as j.
+
+    Returns ``(matrix, labels)`` where ``labels`` gives the row/column
+    order (sorted union of true and predicted labels unless provided).
+    """
+    y_true, y_pred, inferred = _align(y_true, y_pred)
+    label_array = np.asarray(labels) if labels is not None else inferred
+    index = {label: i for i, label in enumerate(label_array.tolist())}
+    matrix = np.zeros((len(label_array), len(label_array)), dtype=int)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1
+    return matrix, label_array
+
+
+def accuracy_score(y_true: Any, y_pred: Any) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true, y_pred, _ = _align(y_true, y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def balanced_accuracy_score(y_true: Any, y_pred: Any) -> float:
+    """Macro-average of per-class recall (paper Table 2's metric).
+
+    Classes absent from ``y_true`` are ignored.
+    """
+    matrix, labels = confusion_matrix(y_true, y_pred)
+    recalls = []
+    for i in range(len(labels)):
+        support = matrix[i].sum()
+        if support > 0:
+            recalls.append(matrix[i, i] / support)
+    return float(np.mean(recalls)) if recalls else 0.0
+
+
+def precision_recall_f1(
+    y_true: Any,
+    y_pred: Any,
+    positive: Any,
+) -> Tuple[float, float, float]:
+    """Precision, recall and F1 for one positive class.
+
+    Empty denominators yield 0.0 (no predictions of the class means zero
+    precision; no true members means zero recall).
+    """
+    y_true, y_pred, _ = _align(y_true, y_pred)
+    tp = int(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = int(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = int(np.sum((y_true == positive) & (y_pred != positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def f1_score(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """F1 for one positive class (harmonic mean of precision and recall)."""
+    return precision_recall_f1(y_true, y_pred, positive)[2]
+
+
+def classification_report(y_true: Any, y_pred: Any) -> Dict[Any, Dict[str, float]]:
+    """Per-class precision/recall/F1/support, plus macro averages.
+
+    Returns a mapping ``label -> {"precision", "recall", "f1", "support"}``
+    with an extra ``"macro avg"`` entry.
+    """
+    y_true, y_pred, labels = _align(y_true, y_pred)
+    report: Dict[Any, Dict[str, float]] = {}
+    macro = np.zeros(3)
+    counted = 0
+    for label in labels.tolist():
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, label)
+        support = int(np.sum(y_true == label))
+        report[label] = {
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "support": float(support),
+        }
+        if support > 0:
+            macro += (precision, recall, f1)
+            counted += 1
+    if counted:
+        macro /= counted
+    report["macro avg"] = {
+        "precision": float(macro[0]),
+        "recall": float(macro[1]),
+        "f1": float(macro[2]),
+        "support": float(len(y_true)),
+    }
+    return report

@@ -1,0 +1,203 @@
+"""Dataset splitting and cross-validation.
+
+Table 3's numbers are "the mean from five-fold cross-validation"; this
+module provides :class:`StratifiedKFold`, :func:`train_test_split` and
+:func:`cross_validate` with pluggable scoring so the benches can mirror
+that protocol exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Classifier, check_Xy, clone
+from .metrics import accuracy_score, balanced_accuracy_score, f1_score
+
+__all__ = ["StratifiedKFold", "train_test_split", "cross_validate", "cross_val_score"]
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving per-class proportions in every fold.
+
+    Samples of each class are dealt round-robin (after an optional
+    shuffle) so each fold receives a near-equal share of every class.
+    """
+
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, seed: Optional[int] = 0
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X: Any, y: Any) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        y = np.asarray(y)
+        n = len(y)
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.zeros(n, dtype=int)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(members)
+            for position, index in enumerate(members):
+                fold_of[index] = position % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            if len(test) == 0 or len(train) == 0:
+                continue
+            yield train, test
+
+
+def train_test_split(
+    X: Any,
+    y: Any,
+    test_size: float = 0.25,
+    seed: Optional[int] = 0,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions.
+
+    With ``stratify`` (default) each class contributes proportionally to
+    the test set, with at least one test sample per class when possible.
+    """
+    X, y = check_Xy(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_mask = np.zeros(len(y), dtype=bool)
+    if stratify:
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            n_test = max(1, int(round(len(members) * test_size))) if len(members) > 1 else 0
+            test_mask[members[:n_test]] = True
+    else:
+        indices = rng.permutation(len(y))
+        test_mask[indices[: max(1, int(round(len(y) * test_size)))]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+_SCORERS: Dict[str, Callable[[Any, np.ndarray, np.ndarray], float]] = {}
+
+
+def _scorer(name: str, func: Callable[..., float]) -> None:
+    _SCORERS[name] = func
+
+
+_scorer("accuracy", lambda est, X, y: accuracy_score(y, est.predict(X)))
+_scorer("balanced_accuracy", lambda est, X, y: balanced_accuracy_score(y, est.predict(X)))
+
+
+def _resolve_scorer(
+    scoring: Any,
+) -> Callable[[Classifier, np.ndarray, np.ndarray], float]:
+    if callable(scoring):
+        return scoring
+    if isinstance(scoring, str):
+        if scoring in _SCORERS:
+            return _SCORERS[scoring]
+        if scoring.startswith("f1:"):
+            positive = scoring.split(":", 1)[1]
+            return lambda est, X, y: f1_score(y, est.predict(X), positive)
+        raise ValueError(f"unknown scoring {scoring!r}")
+    raise TypeError("scoring must be a string or a callable")
+
+
+def cross_validate(
+    estimator: Classifier,
+    X: Any,
+    y: Any,
+    n_splits: int = 5,
+    scoring: Any = "balanced_accuracy",
+    seed: Optional[int] = 0,
+) -> Dict[str, Any]:
+    """Stratified k-fold cross-validation.
+
+    Returns ``{"scores": [...], "mean": float, "std": float}``; the
+    estimator is cloned per fold so folds never share fitted state.
+    ``scoring`` accepts ``"accuracy"``, ``"balanced_accuracy"``,
+    ``"f1:<positive-label>"`` or a callable ``(estimator, X, y) -> float``.
+    """
+    X, y = check_Xy(X, y)
+    score_func = _resolve_scorer(scoring)
+    splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, seed=seed)
+    scores: List[float] = []
+    for train_index, test_index in splitter.split(X, y):
+        fold_estimator = clone(estimator)
+        fold_estimator.fit(X[train_index], y[train_index])
+        scores.append(float(score_func(fold_estimator, X[test_index], y[test_index])))
+    if not scores:
+        raise ValueError("cross-validation produced no usable folds")
+    return {
+        "scores": scores,
+        "mean": float(np.mean(scores)),
+        "std": float(np.std(scores)),
+    }
+
+
+def grid_search(
+    estimator_factory: Callable[..., Classifier],
+    param_grid: Dict[str, Sequence[Any]],
+    X: Any,
+    y: Any,
+    n_splits: int = 5,
+    scoring: Any = "balanced_accuracy",
+    seed: Optional[int] = 0,
+) -> Dict[str, Any]:
+    """Exhaustive hyper-parameter search by cross-validation.
+
+    Mirrors the paper's §4.1 protocol ("the best results among all the
+    hyperparameters that we have experimented"): every combination of
+    ``param_grid`` values is evaluated with stratified k-fold CV and the
+    best mean score wins.
+
+    Returns ``{"best_params", "best_score", "results"}`` where
+    ``results`` lists ``(params, mean_score)`` for every combination.
+    """
+    names = list(param_grid)
+    if not names:
+        raise ValueError("param_grid must contain at least one parameter")
+
+    combinations: List[Dict[str, Any]] = [{}]
+    for name in names:
+        values = list(param_grid[name])
+        if not values:
+            raise ValueError(f"parameter {name!r} has no candidate values")
+        combinations = [
+            {**combo, name: value} for combo in combinations for value in values
+        ]
+
+    results: List[Tuple[Dict[str, Any], float]] = []
+    best_params: Optional[Dict[str, Any]] = None
+    best_score = -np.inf
+    for params in combinations:
+        estimator = estimator_factory(**params)
+        score = cross_validate(
+            estimator, X, y, n_splits=n_splits, scoring=scoring, seed=seed
+        )["mean"]
+        results.append((params, score))
+        if score > best_score:
+            best_score = score
+            best_params = params
+    assert best_params is not None
+    return {"best_params": best_params, "best_score": float(best_score), "results": results}
+
+
+def cross_val_score(
+    estimator: Classifier,
+    X: Any,
+    y: Any,
+    n_splits: int = 5,
+    scoring: Any = "balanced_accuracy",
+    seed: Optional[int] = 0,
+) -> List[float]:
+    """Fold scores only (convenience wrapper over :func:`cross_validate`)."""
+    return cross_validate(estimator, X, y, n_splits=n_splits, scoring=scoring, seed=seed)[
+        "scores"
+    ]

@@ -1,0 +1,132 @@
+"""Multi-layer perceptron classifier (NumPy backprop).
+
+The paper's "Neural Network" entry in Table 2 is an MLP with hidden size
+128, swept from 1 to 10 hidden layers (8 best on its data), balanced
+accuracy 0.786.  This implementation uses ReLU activations, a softmax
+cross-entropy head and Adam, trained full-batch for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Classifier, check_X, check_Xy
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(Classifier):
+    """Feed-forward neural network classifier.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Width of each hidden layer (paper default: ``(128,) * 8``).
+    learning_rate:
+        Adam step size.
+    n_epochs:
+        Full-batch training epochs.
+    l2:
+        L2 weight decay coefficient.
+    seed:
+        Weight initialisation seed.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: Sequence[int] = (128,),
+        learning_rate: float = 1e-2,
+        n_epochs: int = 200,
+        l2: float = 1e-4,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if any(size < 1 for size in hidden_layer_sizes):
+            raise ValueError("hidden layer sizes must be >= 1")
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.l2 = l2
+        self.seed = seed
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+
+    # -- internals ------------------------------------------------------------------
+
+    def _init_params(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        sizes = [n_in, *self.hidden_layer_sizes, n_out]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialisation for ReLU
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [X]
+        h = X
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ W + b
+            if i < len(self._weights) - 1:
+                h = np.maximum(z, 0.0)
+                activations.append(h)
+            else:
+                z -= z.max(axis=1, keepdims=True)
+                expz = np.exp(z)
+                probs = expz / expz.sum(axis=1, keepdims=True)
+                return activations, probs
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fit(self, X: Any, y: Any) -> "MLPClassifier":
+        """Train with full-batch Adam on softmax cross-entropy."""
+        X, y = check_Xy(X, y)
+        y_idx = self._store_classes(y)
+        n_classes = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self._init_params(X.shape[1], n_classes, rng)
+
+        onehot = np.zeros((len(y_idx), n_classes))
+        onehot[np.arange(len(y_idx)), y_idx] = 1.0
+
+        # Adam state
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+        n = X.shape[0]
+        for epoch in range(1, self.n_epochs + 1):
+            activations, probs = self._forward(X)
+            delta = (probs - onehot) / n
+            grads_w: List[np.ndarray] = [None] * len(self._weights)  # type: ignore
+            grads_b: List[np.ndarray] = [None] * len(self._biases)  # type: ignore
+            for layer in range(len(self._weights) - 1, -1, -1):
+                grads_w[layer] = activations[layer].T @ delta + self.l2 * self._weights[layer]
+                grads_b[layer] = delta.sum(axis=0)
+                if layer > 0:
+                    delta = (delta @ self._weights[layer].T) * (activations[layer] > 0)
+            for layer in range(len(self._weights)):
+                for params, grads, m, v in (
+                    (self._weights, grads_w, m_w, v_w),
+                    (self._biases, grads_b, m_b, v_b),
+                ):
+                    m[layer] = beta1 * m[layer] + (1 - beta1) * grads[layer]
+                    v[layer] = beta2 * v[layer] + (1 - beta2) * grads[layer] ** 2
+                    m_hat = m[layer] / (1 - beta1**epoch)
+                    v_hat = v[layer] / (1 - beta2**epoch)
+                    params[layer] = params[layer] - self.learning_rate * m_hat / (
+                        np.sqrt(v_hat) + eps
+                    )
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Softmax output probabilities."""
+        if not self._weights:
+            raise RuntimeError("classifier must be fitted before predict")
+        X = check_X(X)
+        _, probs = self._forward(X)
+        return probs

@@ -1,0 +1,142 @@
+"""Model persistence: save/load trained classifiers as JSON documents.
+
+The paper's production vision (§7) has FIAT *download* "one model per
+IoT device and software version" — which requires a serialisation
+format.  This module persists the deployed model family (BernoulliNB,
+NearestCentroid, DecisionTree) together with its StandardScaler as a
+single JSON document: human-auditable, diff-able, and free of pickle's
+code-execution hazards (a downloaded model must be pure data).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .naive_bayes import BernoulliNB
+from .nearest import NearestCentroidClassifier
+from .preprocessing import StandardScaler
+from .tree import DecisionTreeClassifier, _Node
+
+__all__ = ["save_model", "load_model", "MODEL_FORMAT_VERSION"]
+
+MODEL_FORMAT_VERSION = 1
+
+
+def _array(values: Any) -> list:
+    return np.asarray(values).tolist()
+
+
+def _encode_tree_node(node: _Node) -> Dict[str, Any]:
+    record: Dict[str, Any] = {"counts": _array(node.counts)}
+    if not node.is_leaf:
+        record.update(
+            {
+                "feature": node.feature,
+                "threshold": node.threshold,
+                "left": _encode_tree_node(node.left),
+                "right": _encode_tree_node(node.right),
+            }
+        )
+    return record
+
+
+def _decode_tree_node(record: Dict[str, Any]) -> _Node:
+    node = _Node(counts=np.asarray(record["counts"], dtype=float))
+    if "feature" in record:
+        node.feature = int(record["feature"])
+        node.threshold = float(record["threshold"])
+        node.left = _decode_tree_node(record["left"])
+        node.right = _decode_tree_node(record["right"])
+    return node
+
+
+def _encode_estimator(model: Any) -> Dict[str, Any]:
+    if isinstance(model, BernoulliNB):
+        if model.feature_log_prob_ is None:
+            raise ValueError("cannot save an unfitted BernoulliNB")
+        return {
+            "type": "bernoulli-nb",
+            "params": {"alpha": model.alpha, "binarize": model.binarize},
+            "classes": _array(model.classes_),
+            "feature_log_prob": _array(model.feature_log_prob_),
+            "neg_log_prob": _array(model._neg_log_prob),
+            "class_log_prior": _array(model.class_log_prior_),
+        }
+    if isinstance(model, NearestCentroidClassifier):
+        if model.centroids_ is None:
+            raise ValueError("cannot save an unfitted NearestCentroidClassifier")
+        return {
+            "type": "nearest-centroid",
+            "params": {"metric": model.metric},
+            "classes": _array(model.classes_),
+            "centroids": _array(model.centroids_),
+        }
+    if isinstance(model, DecisionTreeClassifier):
+        if model._root is None:
+            raise ValueError("cannot save an unfitted DecisionTreeClassifier")
+        return {
+            "type": "decision-tree",
+            "params": model.get_params(),
+            "classes": _array(model.classes_),
+            "root": _encode_tree_node(model._root),
+        }
+    raise TypeError(f"unsupported model type {type(model).__name__}")
+
+
+def _decode_estimator(record: Dict[str, Any]) -> Any:
+    kind = record["type"]
+    classes = np.asarray(record["classes"])
+    if kind == "bernoulli-nb":
+        model = BernoulliNB(**record["params"])
+        model.classes_ = classes
+        model.feature_log_prob_ = np.asarray(record["feature_log_prob"])
+        model._neg_log_prob = np.asarray(record["neg_log_prob"])
+        model.class_log_prior_ = np.asarray(record["class_log_prior"])
+        return model
+    if kind == "nearest-centroid":
+        model = NearestCentroidClassifier(**record["params"])
+        model.classes_ = classes
+        model.centroids_ = np.asarray(record["centroids"])
+        return model
+    if kind == "decision-tree":
+        model = DecisionTreeClassifier(**record["params"])
+        model.classes_ = classes
+        model._root = _decode_tree_node(record["root"])
+        return model
+    raise ValueError(f"unknown model type {kind!r}")
+
+
+def save_model(
+    model: Any,
+    scaler: Optional[StandardScaler] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Serialise a fitted model (+ optional scaler) to a JSON string."""
+    document: Dict[str, Any] = {
+        "fiat-model-version": MODEL_FORMAT_VERSION,
+        "estimator": _encode_estimator(model),
+        "metadata": metadata or {},
+    }
+    if scaler is not None:
+        if scaler.mean_ is None:
+            raise ValueError("cannot save an unfitted StandardScaler")
+        document["scaler"] = {"mean": _array(scaler.mean_), "scale": _array(scaler.scale_)}
+    return json.dumps(document, sort_keys=True)
+
+
+def load_model(document: str) -> Tuple[Any, Optional[StandardScaler], Dict[str, Any]]:
+    """Inverse of :func:`save_model`: ``(model, scaler, metadata)``."""
+    data = json.loads(document)
+    version = data.get("fiat-model-version")
+    if version != MODEL_FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    model = _decode_estimator(data["estimator"])
+    scaler: Optional[StandardScaler] = None
+    if "scaler" in data:
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(data["scaler"]["mean"])
+        scaler.scale_ = np.asarray(data["scaler"]["scale"])
+    return model, scaler, data.get("metadata", {})

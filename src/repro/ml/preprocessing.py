@@ -1,0 +1,99 @@
+"""Feature preprocessing: scaling and label encoding.
+
+The paper pre-processes all event features by "scaling all the features
+to unit variance before training and testing" (§4.1) —
+:class:`StandardScaler` reproduces that step.  :class:`LabelEncoder` maps
+arbitrary class labels to contiguous integers for models that need them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from .base import check_X
+
+__all__ = ["StandardScaler", "LabelEncoder"]
+
+
+class StandardScaler:
+    """Standardise features by removing the mean and scaling to unit variance.
+
+    Constant features (zero variance) are left centred but unscaled, to
+    avoid division by zero — matching scikit-learn's behaviour.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = check_X(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with {self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: Any) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        """Undo the standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        X = check_X(X)
+        return X * self.scale_ + self.mean_
+
+
+class LabelEncoder:
+    """Encode arbitrary hashable labels as integers ``0..n_classes-1``."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y: Any) -> "LabelEncoder":
+        """Learn the sorted set of labels."""
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: Any) -> np.ndarray:
+        """Map labels to their integer codes; unknown labels raise."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before transform")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        codes = np.clip(codes, 0, len(self.classes_) - 1)
+        if not np.all(self.classes_[codes] == y):
+            unknown = sorted(set(y.tolist()) - set(self.classes_.tolist()))
+            raise ValueError(f"unseen labels: {unknown}")
+        return codes
+
+    def fit_transform(self, y: Any) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: Any) -> np.ndarray:
+        """Map integer codes back to the original labels."""
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before inverse_transform")
+        return self.classes_[np.asarray(codes, dtype=int)]

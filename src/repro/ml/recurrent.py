@@ -1,0 +1,189 @@
+"""Recurrent sequence classifier (paper §7 future work).
+
+The paper plans to "experiment with temporally-relevant models, e.g.,
+LSTM, to handle the temporal variation in devices' behaviors".  This
+module provides that extension: a compact Elman-style RNN classifier
+over *per-packet feature sequences* (rather than the flattened 66-dim
+vector), trained full-batch with Adam through backpropagation through
+time.  Mean-pooling over hidden states keeps gradients stable at the
+short sequence lengths FIAT sees (N <= 5 packets per decision).
+
+The bench ``bench_extension_temporal.py`` compares it against the
+deployed BernoulliNB on the same events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Classifier
+
+__all__ = ["SimpleRNNClassifier", "pad_sequences"]
+
+
+def pad_sequences(sequences: Sequence[np.ndarray], max_len: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length ``(t_i, d)`` sequences into ``(n, T, d)``.
+
+    Returns ``(padded, mask)`` where ``mask[i, t]`` is 1 for real steps.
+    """
+    if not sequences:
+        raise ValueError("no sequences to pad")
+    arrays = [np.atleast_2d(np.asarray(s, dtype=float)) for s in sequences]
+    d = arrays[0].shape[1]
+    if any(a.shape[1] != d for a in arrays):
+        raise ValueError("sequences must share the feature dimension")
+    T = max_len or max(a.shape[0] for a in arrays)
+    n = len(arrays)
+    padded = np.zeros((n, T, d))
+    mask = np.zeros((n, T))
+    for i, a in enumerate(arrays):
+        t = min(T, a.shape[0])
+        padded[i, :t] = a[:t]
+        mask[i, :t] = 1.0
+    return padded, mask
+
+
+class SimpleRNNClassifier(Classifier):
+    """Elman RNN over packet sequences with mean-pooled readout.
+
+    ``fit``/``predict`` accept either a 3-D array ``(n, T, d)`` or a
+    list of ``(t_i, d)`` arrays (padded internally).  Hidden state:
+    ``h_t = tanh(x_t W_x + h_{t-1} W_h + b)``; the class logits read the
+    mask-weighted mean of the hidden states.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        learning_rate: float = 1e-2,
+        n_epochs: int = 150,
+        l2: float = 1e-4,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.l2 = l2
+        self.seed = seed
+        self._params: Optional[dict] = None
+        self._scale: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # -- data handling --------------------------------------------------------------
+
+    def _coerce(self, X: Any) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(X, np.ndarray) and X.ndim == 3:
+            mask = np.ones(X.shape[:2])
+            return X.astype(float), mask
+        return pad_sequences(list(X))
+
+    def _standardise(self, X: np.ndarray, mask: np.ndarray, fit: bool) -> np.ndarray:
+        flat = X[mask.astype(bool)]
+        if fit:
+            mean = flat.mean(axis=0)
+            std = flat.std(axis=0)
+            std[std == 0.0] = 1.0
+            self._scale = (mean, std)
+        assert self._scale is not None
+        mean, std = self._scale
+        out = (X - mean) / std
+        return out * mask[:, :, None]
+
+    # -- forward / backward -----------------------------------------------------------
+
+    def _forward(self, X: np.ndarray, mask: np.ndarray):
+        p = self._params
+        n, T, _ = X.shape
+        H = self.hidden_size
+        hs = np.zeros((n, T + 1, H))
+        for t in range(T):
+            raw = X[:, t] @ p["Wx"] + hs[:, t] @ p["Wh"] + p["b"]
+            h = np.tanh(raw)
+            live = mask[:, t : t + 1]
+            hs[:, t + 1] = live * h + (1.0 - live) * hs[:, t]
+        counts = mask.sum(axis=1, keepdims=True)
+        counts[counts == 0.0] = 1.0
+        pooled = (hs[:, 1:] * mask[:, :, None]).sum(axis=1) / counts
+        logits = pooled @ p["Wo"] + p["bo"]
+        logits -= logits.max(axis=1, keepdims=True)
+        expl = np.exp(logits)
+        probs = expl / expl.sum(axis=1, keepdims=True)
+        return hs, pooled, probs
+
+    def fit(self, X: Any, y: Any) -> "SimpleRNNClassifier":
+        """Train with full-batch Adam + BPTT."""
+        X, mask = self._coerce(X)
+        y = np.asarray(y)
+        if len(y) != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        y_idx = self._store_classes(y)
+        n_classes = len(self.classes_)
+        X = self._standardise(X, mask, fit=True)
+        n, T, d = X.shape
+        H = self.hidden_size
+        rng = np.random.default_rng(self.seed)
+        self._params = {
+            "Wx": rng.normal(0, 1.0 / np.sqrt(d), size=(d, H)),
+            "Wh": rng.normal(0, 1.0 / np.sqrt(H), size=(H, H)),
+            "b": np.zeros(H),
+            "Wo": rng.normal(0, 1.0 / np.sqrt(H), size=(H, n_classes)),
+            "bo": np.zeros(n_classes),
+        }
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), y_idx] = 1.0
+        adam = {k: (np.zeros_like(v), np.zeros_like(v)) for k, v in self._params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+        counts = mask.sum(axis=1, keepdims=True)
+        counts[counts == 0.0] = 1.0
+
+        for epoch in range(1, self.n_epochs + 1):
+            hs, pooled, probs = self._forward(X, mask)
+            grads = {k: np.zeros_like(v) for k, v in self._params.items()}
+            dlogits = (probs - onehot) / n
+            grads["Wo"] = pooled.T @ dlogits + self.l2 * self._params["Wo"]
+            grads["bo"] = dlogits.sum(axis=0)
+            dpooled = dlogits @ self._params["Wo"].T
+            dh_next = np.zeros((n, H))
+            for t in range(T - 1, -1, -1):
+                live = mask[:, t : t + 1]
+                dh = dh_next + dpooled * live / counts
+                h_t = hs[:, t + 1]
+                draw = dh * (1.0 - h_t**2) * live
+                grads["Wx"] += X[:, t].T @ draw
+                grads["Wh"] += hs[:, t].T @ draw
+                grads["b"] += draw.sum(axis=0)
+                dh_next = draw @ self._params["Wh"].T + dh_next * (1.0 - live)
+            grads["Wx"] += self.l2 * self._params["Wx"]
+            grads["Wh"] += self.l2 * self._params["Wh"]
+            for key, grad in grads.items():
+                m, v = adam[key]
+                m[:] = beta1 * m + (1 - beta1) * grad
+                v[:] = beta2 * v + (1 - beta2) * grad**2
+                m_hat = m / (1 - beta1**epoch)
+                v_hat = v / (1 - beta2**epoch)
+                self._params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Class probabilities for sequences."""
+        if self._params is None:
+            raise RuntimeError("classifier must be fitted before predict")
+        X, mask = self._coerce(X)
+        X = self._standardise(X, mask, fit=False)
+        _, _, probs = self._forward(X, mask)
+        return probs
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Hard class labels for sequences."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy on labelled sequences."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

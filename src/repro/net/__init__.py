@@ -1,0 +1,47 @@
+"""Packet, flow, DNS and trace substrate (replaces scapy/tcpdump)."""
+
+from .dns import DnsTable
+from .flows import FlowDefinition, classic_key, flow_key, flow_pretty, portless_key
+from .packet import (
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    TLS_1_0,
+    TLS_1_1,
+    TLS_1_2,
+    TLS_1_3,
+    TLS_NONE,
+    Direction,
+    Packet,
+    TrafficClass,
+)
+from .pcap import read_pcap, write_pcap
+from .trace import Trace, TraceStats
+
+__all__ = [
+    "DnsTable",
+    "FlowDefinition",
+    "classic_key",
+    "portless_key",
+    "flow_key",
+    "flow_pretty",
+    "Direction",
+    "Packet",
+    "TrafficClass",
+    "Trace",
+    "TraceStats",
+    "read_pcap",
+    "write_pcap",
+    "TLS_NONE",
+    "TLS_1_0",
+    "TLS_1_1",
+    "TLS_1_2",
+    "TLS_1_3",
+    "TCP_FIN",
+    "TCP_SYN",
+    "TCP_RST",
+    "TCP_PSH",
+    "TCP_ACK",
+]

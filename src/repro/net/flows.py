@@ -1,0 +1,85 @@
+"""Flow-key definitions used by the predictability heuristic (paper §2.1).
+
+The paper buckets packets under two alternative flow definitions:
+
+* **Classic** -- the 6-tuple
+  ``<ip_src, ip_dst, port_src, port_dst, proto, size>``.
+* **PortLess** -- a 4-tuple that abandons both ports and replaces the
+  remote IP with its *domain name* (resolved via DNS traffic or a reverse
+  lookup): ``<device endpoint, remote domain, proto, size>``.
+
+PortLess is the definition FIAT deploys because IoT devices regularly talk
+to the same domain from ephemeral ports, which fragments Classic buckets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Optional, Tuple
+
+from .dns import DnsTable
+from .packet import Direction, Packet
+
+__all__ = ["FlowDefinition", "classic_key", "portless_key", "flow_key"]
+
+
+class FlowDefinition(enum.Enum):
+    """Which flow definition to bucket packets under."""
+
+    CLASSIC = "classic"
+    PORTLESS = "portless"
+
+
+def classic_key(packet: Packet) -> Tuple[Hashable, ...]:
+    """Classic 6-tuple bucket key: addresses, ports, protocol and size."""
+    return (
+        packet.src_ip,
+        packet.dst_ip,
+        packet.src_port,
+        packet.dst_port,
+        packet.protocol,
+        packet.size,
+    )
+
+
+def portless_key(packet: Packet, dns: Optional[DnsTable] = None) -> Tuple[Hashable, ...]:
+    """PortLess bucket key: device ip, remote domain, direction, protocol, size.
+
+    The remote IP is replaced by its domain name when ``dns`` can resolve
+    it; unresolvable IPs fall back to the raw address, which — as the
+    paper notes for its reverse-DNS fallback — is *at least* as precise
+    as using the IP directly.
+    """
+    remote: Hashable = packet.remote_ip
+    if dns is not None:
+        remote = dns.domain_for(packet.remote_ip) or packet.remote_ip
+    return (
+        packet.device_ip,
+        remote,
+        packet.direction.value,
+        packet.protocol,
+        packet.size,
+    )
+
+
+def flow_key(
+    packet: Packet,
+    definition: FlowDefinition,
+    dns: Optional[DnsTable] = None,
+) -> Tuple[Hashable, ...]:
+    """Dispatch to :func:`classic_key` or :func:`portless_key`."""
+    if definition is FlowDefinition.CLASSIC:
+        return classic_key(packet)
+    if definition is FlowDefinition.PORTLESS:
+        return portless_key(packet, dns)
+    raise ValueError(f"unknown flow definition: {definition!r}")
+
+
+def flow_pretty(key: Tuple[Hashable, ...], definition: FlowDefinition) -> str:
+    """Human-readable rendering of a flow key for logs and figures."""
+    if definition is FlowDefinition.CLASSIC:
+        src, dst, sport, dport, proto, size = key
+        return f"{src}:{sport} -> {dst}:{dport} {proto} {size}B"
+    device, remote, direction, proto, size = key
+    arrow = "->" if direction == Direction.OUTBOUND.value else "<-"
+    return f"{device} {arrow} {remote} {proto} {size}B"

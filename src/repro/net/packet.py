@@ -1,0 +1,158 @@
+"""Packet model for the FIAT reproduction.
+
+FIAT operates passively on network traffic: it never inspects payloads,
+only header-level metadata (arrival time, size, addressing, transport
+protocol, TCP flags, and the TLS record version when present).  The
+:class:`Packet` dataclass carries exactly that metadata, plus ground-truth
+annotations (owning device, traffic class, event id) that the simulator
+knows but the FIAT proxy is never allowed to read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+
+class Direction(enum.Enum):
+    """Direction of a packet relative to the IoT device that owns it."""
+
+    #: Sent by the IoT device towards the cloud / phone.
+    OUTBOUND = "out"
+    #: Received by the IoT device from the cloud / phone.
+    INBOUND = "in"
+
+    def flipped(self) -> "Direction":
+        """Return the opposite direction."""
+        return Direction.INBOUND if self is Direction.OUTBOUND else Direction.OUTBOUND
+
+
+class TrafficClass(enum.Enum):
+    """Ground-truth traffic category used throughout the paper.
+
+    * ``CONTROL``   -- software-generated keep-alive / telemetry traffic.
+    * ``AUTOMATED`` -- traffic triggered by user-configured routines
+      (e.g. IFTTT, "turn on the heat at 6pm").
+    * ``MANUAL``    -- traffic caused by a human physically interacting
+      with a companion app.
+    * ``ATTACK``    -- traffic injected by an adversary (only produced by
+      the attack simulator; the paper treats it as illegitimate manual
+      traffic).
+    """
+
+    CONTROL = "control"
+    AUTOMATED = "automated"
+    MANUAL = "manual"
+    ATTACK = "attack"
+
+
+#: TLS record versions observed on the wire, encoded as small integers.
+#: ``TLS_NONE`` means the packet carries no TLS record (plain TCP/UDP).
+TLS_NONE = 0
+TLS_1_0 = 10
+TLS_1_1 = 11
+TLS_1_2 = 12
+TLS_1_3 = 13
+
+#: Common TCP flag bits (subset sufficient for feature extraction).
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single observed packet.
+
+    Attributes mirror what a passive on-path monitor (the FIAT proxy)
+    can see.  ``device``, ``traffic_class`` and ``event_id`` are
+    ground-truth annotations added by the simulator for evaluation; the
+    FIAT decision pipeline must not use them.
+    """
+
+    timestamp: float
+    size: int
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str  # "tcp" | "udp"
+    direction: Direction
+    device: str = ""
+    tcp_flags: int = 0
+    tls_version: int = TLS_NONE
+    traffic_class: TrafficClass = TrafficClass.CONTROL
+    event_id: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"packet size must be non-negative, got {self.size}")
+        if self.protocol not in ("tcp", "udp"):
+            raise ValueError(f"unsupported protocol {self.protocol!r}")
+        if not (0 <= self.src_port <= 65535 and 0 <= self.dst_port <= 65535):
+            raise ValueError("ports must be in [0, 65535]")
+
+    @property
+    def remote_ip(self) -> str:
+        """IP address of the non-device endpoint."""
+        return self.dst_ip if self.direction is Direction.OUTBOUND else self.src_ip
+
+    @property
+    def remote_port(self) -> int:
+        """Port of the non-device endpoint."""
+        return self.dst_port if self.direction is Direction.OUTBOUND else self.src_port
+
+    @property
+    def device_ip(self) -> str:
+        """IP address of the IoT device endpoint."""
+        return self.src_ip if self.direction is Direction.OUTBOUND else self.dst_ip
+
+    @property
+    def is_tls(self) -> bool:
+        """Whether the packet carries a TLS record."""
+        return self.tls_version != TLS_NONE
+
+    def with_timestamp(self, timestamp: float) -> "Packet":
+        """Return a copy of this packet shifted to ``timestamp``."""
+        return replace(self, timestamp=timestamp)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dict (JSON friendly)."""
+        return {
+            "timestamp": self.timestamp,
+            "size": self.size,
+            "src_ip": self.src_ip,
+            "dst_ip": self.dst_ip,
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "protocol": self.protocol,
+            "direction": self.direction.value,
+            "device": self.device,
+            "tcp_flags": self.tcp_flags,
+            "tls_version": self.tls_version,
+            "traffic_class": self.traffic_class.value,
+            "event_id": self.event_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Packet":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            timestamp=float(data["timestamp"]),
+            size=int(data["size"]),
+            src_ip=str(data["src_ip"]),
+            dst_ip=str(data["dst_ip"]),
+            src_port=int(data["src_port"]),
+            dst_port=int(data["dst_port"]),
+            protocol=str(data["protocol"]),
+            direction=Direction(data["direction"]),
+            device=str(data.get("device", "")),
+            tcp_flags=int(data.get("tcp_flags", 0)),
+            tls_version=int(data.get("tls_version", TLS_NONE)),
+            traffic_class=TrafficClass(data.get("traffic_class", "control")),
+            event_id=data.get("event_id"),
+        )

@@ -1,0 +1,198 @@
+"""Minimal pcap (libpcap classic format) interoperability.
+
+An open-source FIAT release must interoperate with standard capture
+tooling: this module writes :class:`~repro.net.trace.Trace` objects as
+pcap files readable by tcpdump/Wireshark, and reads pcap files produced
+by them back into traces.  Packets are synthesised as Ethernet + IPv4 +
+TCP/UDP headers with a zero-filled payload padded to the recorded size;
+FIAT-specific ground-truth annotations cannot be represented in pcap
+and are dropped on write (``device`` can be recovered on read via a
+LAN-subnet heuristic).
+
+Only what FIAT needs is implemented: fixed 24-byte global header
+(magic 0xa1b2c3d4, LINKTYPE_ETHERNET), per-packet headers with
+microsecond timestamps, IPv4 without options, TCP without options.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from .packet import TLS_NONE, Direction, Packet
+from .trace import Trace
+
+__all__ = ["write_pcap", "read_pcap", "PCAP_MAGIC"]
+
+PCAP_MAGIC = 0xA1B2C3D4
+_LINKTYPE_ETHERNET = 1
+_ETH_IPV4 = 0x0800
+_PROTO_TCP = 6
+_PROTO_UDP = 17
+_ETH_HEADER = 14
+_IP_HEADER = 20
+_TCP_HEADER = 20
+_UDP_HEADER = 8
+
+
+def _ip_bytes(ip: str) -> bytes:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        return b"\x00\x00\x00\x00"
+    try:
+        return bytes(int(p) & 0xFF for p in parts)
+    except ValueError:
+        return b"\x00\x00\x00\x00"
+
+
+def _bytes_ip(raw: bytes) -> str:
+    return ".".join(str(b) for b in raw)
+
+
+def _frame_for(packet: Packet) -> bytes:
+    """Synthesise an Ethernet/IPv4/L4 frame of ``packet.size`` IP bytes."""
+    proto = _PROTO_TCP if packet.protocol == "tcp" else _PROTO_UDP
+    l4_header = _TCP_HEADER if proto == _PROTO_TCP else _UDP_HEADER
+    # packet.size is the on-wire IP length in this codebase
+    total_ip_len = max(packet.size, _IP_HEADER + l4_header)
+    payload_len = total_ip_len - _IP_HEADER - l4_header
+
+    eth = b"\x02\x00\x00\x00\x00\x01" + b"\x02\x00\x00\x00\x00\x02" + struct.pack(
+        "!H", _ETH_IPV4
+    )
+    ip = struct.pack(
+        "!BBHHHBBH4s4s",
+        0x45,  # version 4, IHL 5
+        0,
+        total_ip_len,
+        0,
+        0,
+        64,
+        proto,
+        0,  # checksum left zero (synthetic capture)
+        _ip_bytes(packet.src_ip),
+        _ip_bytes(packet.dst_ip),
+    )
+    if proto == _PROTO_TCP:
+        l4 = struct.pack(
+            "!HHIIBBHHH",
+            packet.src_port,
+            packet.dst_port,
+            0,
+            0,
+            (_TCP_HEADER // 4) << 4,
+            packet.tcp_flags & 0xFF,
+            65535,
+            0,
+            0,
+        )
+    else:
+        l4 = struct.pack(
+            "!HHHH", packet.src_port, packet.dst_port, _UDP_HEADER + payload_len, 0
+        )
+    return eth + ip + l4 + b"\x00" * payload_len
+
+
+def write_pcap(trace: Trace, path: str) -> int:
+    """Write a trace as a pcap file; returns the number of packets."""
+    with open(path, "wb") as handle:
+        handle.write(
+            struct.pack(
+                "<IHHiIII",
+                PCAP_MAGIC,
+                2,
+                4,
+                0,
+                0,
+                65535,
+                _LINKTYPE_ETHERNET,
+            )
+        )
+        for packet in trace:
+            frame = _frame_for(packet)
+            timestamp = max(0.0, packet.timestamp)  # pcap time is unsigned
+            seconds = int(timestamp)
+            micros = int(round((timestamp - seconds) * 1e6))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            handle.write(struct.pack("<IIII", seconds, micros, len(frame), len(frame)))
+            handle.write(frame)
+    return len(trace)
+
+
+def read_pcap(path: str, lan_prefix: str = "192.168.") -> Trace:
+    """Read a pcap file into a trace.
+
+    Direction and device are recovered heuristically: the endpoint whose
+    address starts with ``lan_prefix`` is taken as the IoT device.
+    Non-IPv4 or non-TCP/UDP frames are skipped.
+    """
+    packets: List[Packet] = []
+    with open(path, "rb") as handle:
+        header = handle.read(24)
+        if len(header) < 24:
+            raise ValueError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            endian = "<"
+        elif magic == struct.unpack(">I", struct.pack("<I", PCAP_MAGIC))[0]:
+            endian = ">"
+        else:
+            raise ValueError(f"not a pcap file (magic {magic:#x})")
+        while True:
+            record = handle.read(16)
+            if len(record) < 16:
+                break
+            seconds, micros, incl_len, _orig = struct.unpack(endian + "IIII", record)
+            frame = handle.read(incl_len)
+            if len(frame) < incl_len:
+                raise ValueError("truncated pcap record")
+            packet = _parse_frame(frame, seconds + micros / 1e6, lan_prefix)
+            if packet is not None:
+                packets.append(packet)
+    return Trace(packets, name=path)
+
+
+def _parse_frame(frame: bytes, timestamp: float, lan_prefix: str) -> Optional[Packet]:
+    if len(frame) < _ETH_HEADER + _IP_HEADER:
+        return None
+    ethertype = struct.unpack("!H", frame[12:14])[0]
+    if ethertype != _ETH_IPV4:
+        return None
+    ip = frame[_ETH_HEADER:]
+    ihl = (ip[0] & 0x0F) * 4
+    total_len = struct.unpack("!H", ip[2:4])[0]
+    proto = ip[9]
+    src_ip = _bytes_ip(ip[12:16])
+    dst_ip = _bytes_ip(ip[16:20])
+    l4 = ip[ihl:]
+    if proto == _PROTO_TCP and len(l4) >= _TCP_HEADER:
+        src_port, dst_port = struct.unpack("!HH", l4[:4])
+        flags = l4[13]
+        protocol = "tcp"
+    elif proto == _PROTO_UDP and len(l4) >= _UDP_HEADER:
+        src_port, dst_port = struct.unpack("!HH", l4[:4])
+        flags = 0
+        protocol = "udp"
+    else:
+        return None
+    if src_ip.startswith(lan_prefix):
+        direction = Direction.OUTBOUND
+        device_ip = src_ip
+    else:
+        direction = Direction.INBOUND
+        device_ip = dst_ip
+    return Packet(
+        timestamp=timestamp,
+        size=total_len,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        direction=direction,
+        device=device_ip,
+        tcp_flags=flags,
+        tls_version=TLS_NONE,  # pcap carries no TLS metadata at this layer
+    )

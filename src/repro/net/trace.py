@@ -1,0 +1,171 @@
+"""Trace container: an ordered packet capture with ground-truth metadata.
+
+A :class:`Trace` is the unit every analysis in the reproduction consumes:
+the predictability engine (paper §2), the event layer (§3.2), the feature
+extractor (§4.1) and the FIAT proxy (§5.4) all iterate packets in
+timestamp order.  Traces serialise to JSON-lines so synthetic corpora can
+be cached on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .dns import DnsTable
+from .packet import Packet, TrafficClass
+
+__all__ = ["Trace", "TraceStats"]
+
+
+class TraceStats:
+    """Summary statistics of a trace (packets, bytes, per-class counts)."""
+
+    def __init__(self, trace: "Trace") -> None:
+        self.n_packets = len(trace)
+        self.n_bytes = sum(p.size for p in trace)
+        self.devices = sorted({p.device for p in trace if p.device})
+        self.duration = trace.duration
+        self.class_counts: Dict[str, int] = {}
+        for packet in trace:
+            key = packet.traffic_class.value
+            self.class_counts[key] = self.class_counts.get(key, 0) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceStats(packets={self.n_packets}, bytes={self.n_bytes}, "
+            f"devices={len(self.devices)}, duration={self.duration:.1f}s, "
+            f"classes={self.class_counts})"
+        )
+
+
+class Trace:
+    """An immutable-by-convention, timestamp-sorted sequence of packets.
+
+    Parameters
+    ----------
+    packets:
+        Packets in any order; they are sorted by timestamp on construction.
+    dns:
+        DNS table observed alongside the capture, used by the PortLess
+        flow definition.
+    name:
+        Optional label (e.g. ``"EchoDot4-US"``).
+    """
+
+    def __init__(
+        self,
+        packets: Iterable[Packet],
+        dns: Optional[DnsTable] = None,
+        name: str = "",
+    ) -> None:
+        self._packets: List[Packet] = sorted(packets, key=lambda p: p.timestamp)
+        self.dns = dns or DnsTable()
+        self.name = name
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self._packets[index]
+
+    @property
+    def packets(self) -> Tuple[Packet, ...]:
+        """The packets, sorted by timestamp."""
+        return tuple(self._packets)
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first packet (0.0 for an empty trace)."""
+        return self._packets[0].timestamp if self._packets else 0.0
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last packet (0.0 for an empty trace)."""
+        return self._packets[-1].timestamp if self._packets else 0.0
+
+    @property
+    def duration(self) -> float:
+        """Capture span in seconds."""
+        return self.end - self.start
+
+    def stats(self) -> TraceStats:
+        """Compute summary statistics."""
+        return TraceStats(self)
+
+    # -- transformations ----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Packet], bool], name: str = "") -> "Trace":
+        """New trace containing packets for which ``predicate`` holds."""
+        return Trace(
+            (p for p in self._packets if predicate(p)),
+            dns=self.dns,
+            name=name or self.name,
+        )
+
+    def for_device(self, device: str) -> "Trace":
+        """New trace restricted to one device's traffic."""
+        return self.filter(lambda p: p.device == device, name=f"{self.name}/{device}")
+
+    def for_class(self, traffic_class: TrafficClass) -> "Trace":
+        """New trace restricted to one ground-truth traffic class."""
+        return self.filter(lambda p: p.traffic_class is traffic_class)
+
+    def between(self, start: float, end: float) -> "Trace":
+        """New trace with packets whose timestamp lies in ``[start, end)``."""
+        return self.filter(lambda p: start <= p.timestamp < end)
+
+    def merge(self, other: "Trace", name: str = "") -> "Trace":
+        """Interleave two traces (packets re-sorted, DNS tables merged)."""
+        return Trace(
+            list(self._packets) + list(other.packets),
+            dns=self.dns.merge(other.dns),
+            name=name or self.name or other.name,
+        )
+
+    def devices(self) -> Tuple[str, ...]:
+        """Sorted distinct device names present in the trace."""
+        return tuple(sorted({p.device for p in self._packets if p.device}))
+
+    # -- (de)serialisation --------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the trace as JSON-lines (one packet per line).
+
+        The header line carries the trace name and the observed DNS
+        records, so the PortLess flow definition survives a round trip.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"_trace": True, "name": self.name, "dns": self.dns.records()}
+            handle.write(json.dumps(header) + "\n")
+            for packet in self._packets:
+                handle.write(json.dumps(packet.to_dict()) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str, dns: Optional[DnsTable] = None) -> "Trace":
+        """Read a trace previously written by :meth:`to_jsonl`.
+
+        An explicitly passed ``dns`` overrides the table stored in the
+        file header.
+        """
+        packets: List[Packet] = []
+        name = ""
+        stored_dns: Optional[DnsTable] = None
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("_trace"):
+                    name = record.get("name", "")
+                    if record.get("dns"):
+                        stored_dns = DnsTable(record["dns"].items())
+                    continue
+                packets.append(Packet.from_dict(record))
+        return cls(packets, dns=dns if dns is not None else stored_dns, name=name)

@@ -1,0 +1,26 @@
+"""Predictability engine: the paper's §2.1 bucket heuristic and analyses."""
+
+from .aggregation import WindowRecord, aggregate_trace, windowed_predictability
+from .analyzer import (
+    DevicePredictability,
+    PredictabilityReport,
+    analyze_trace,
+    cdf,
+    max_predictable_intervals,
+)
+from .buckets import DEFAULT_RESOLUTION, BucketPredictor, label_predictable, quantize_iat
+
+__all__ = [
+    "BucketPredictor",
+    "label_predictable",
+    "quantize_iat",
+    "DEFAULT_RESOLUTION",
+    "DevicePredictability",
+    "PredictabilityReport",
+    "analyze_trace",
+    "max_predictable_intervals",
+    "cdf",
+    "WindowRecord",
+    "aggregate_trace",
+    "windowed_predictability",
+]

@@ -1,0 +1,225 @@
+"""Bucket-based predictability heuristic (paper §2.1).
+
+A packet is *predictable* when packets of the same size travel between
+the same endpoints at a constant pace.  Concretely, every packet is
+stored in a bucket identified by its flow key (Classic or PortLess, see
+:mod:`repro.net.flows`); for each bucket the inter-arrival time (IAT)
+between the last two packets is computed, and if that IAT matches any
+previously computed IAT for the bucket, then **all** packets associated
+with that IAT — previous and future — are considered predictable.
+
+Two consumption modes are provided:
+
+* :func:`label_predictable` — the offline, retroactive analysis used for
+  the measurement study (§2, §3): returns a per-packet boolean mask.
+* :class:`BucketPredictor` — an online learner used by the FIAT proxy:
+  during the bootstrap window it records the recurring IATs of every
+  bucket; afterwards :meth:`BucketPredictor.observe` reports whether an
+  arriving packet matches a learned pattern.
+
+IATs are quantised to a configurable resolution (default 0.25 s) so that
+small scheduling jitter does not break a match, while genuinely drifting
+timers — such as the Nest thermostat's motion-triggered wakeups, which
+vary by several seconds — remain unpredictable, as observed in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..net.dns import DnsTable
+from ..net.flows import FlowDefinition, flow_key
+from ..net.packet import Packet
+from ..net.trace import Trace
+
+__all__ = ["BucketPredictor", "label_predictable", "quantize_iat"]
+
+#: Default IAT quantisation resolution in seconds.
+DEFAULT_RESOLUTION = 0.25
+
+
+def quantize_iat(iat: float, resolution: float = DEFAULT_RESOLUTION) -> int:
+    """Quantise an inter-arrival time into an integer bin.
+
+    Bins are half-open intervals of width ``resolution``; negative IATs
+    (possible only with unsorted input) are clamped to bin 0.
+    """
+    if iat <= 0:
+        return 0
+    return int(math.floor(iat / resolution + 0.5))
+
+
+class _BucketState:
+    """Per-bucket history: last arrival and IAT-bin occurrence counts."""
+
+    __slots__ = ("last_timestamp", "iat_bins", "packet_bins")
+
+    def __init__(self) -> None:
+        self.last_timestamp: Optional[float] = None
+        #: bin -> number of times this IAT bin was computed
+        self.iat_bins: Dict[int, int] = {}
+        #: per observed packet (after the first): (packet_index, bin)
+        self.packet_bins: List[Tuple[int, int]] = []
+
+
+class BucketPredictor:
+    """Online predictability learner / matcher.
+
+    Parameters
+    ----------
+    definition:
+        Flow definition used for bucketing (PortLess by default, as
+        deployed by FIAT).
+    dns:
+        DNS table for PortLess domain resolution.
+    resolution:
+        IAT quantisation resolution in seconds.
+    neighbor_bins:
+        A new IAT matches a learned one when its bin is within this many
+        bins of a previously seen bin (0 = exact bin match).  One
+        neighbour bin absorbs boundary jitter.
+    """
+
+    def __init__(
+        self,
+        definition: FlowDefinition = FlowDefinition.PORTLESS,
+        dns: Optional[DnsTable] = None,
+        resolution: float = DEFAULT_RESOLUTION,
+        neighbor_bins: int = 1,
+    ) -> None:
+        self.definition = definition
+        self.dns = dns
+        self.resolution = resolution
+        self.neighbor_bins = neighbor_bins
+        self._buckets: Dict[Tuple[Hashable, ...], _BucketState] = defaultdict(_BucketState)
+        self._n_observed = 0
+
+    # -- online interface ---------------------------------------------------------
+
+    def key_for(self, packet: Packet) -> Tuple[Hashable, ...]:
+        """Bucket key of a packet under this predictor's flow definition."""
+        return flow_key(packet, self.definition, self.dns)
+
+    def _bin_matches(self, state: _BucketState, iat_bin: int) -> bool:
+        for delta in range(-self.neighbor_bins, self.neighbor_bins + 1):
+            if state.iat_bins.get(iat_bin + delta, 0) > 0:
+                return True
+        return False
+
+    def observe(self, packet: Packet) -> bool:
+        """Feed one packet; return ``True`` when it matches a learned IAT.
+
+        The first packet of a bucket is never predictable online (there is
+        no IAT yet), and the second is predictable only if its IAT matches
+        an IAT learned from earlier traffic.
+        """
+        state = self._buckets[self.key_for(packet)]
+        self._n_observed += 1
+        if state.last_timestamp is None:
+            state.last_timestamp = packet.timestamp
+            return False
+        iat = packet.timestamp - state.last_timestamp
+        state.last_timestamp = packet.timestamp
+        iat_bin = quantize_iat(iat, self.resolution)
+        matched = self._bin_matches(state, iat_bin)
+        state.iat_bins[iat_bin] = state.iat_bins.get(iat_bin, 0) + 1
+        state.packet_bins.append((self._n_observed - 1, iat_bin))
+        return matched
+
+    def learn_trace(self, trace: Iterable[Packet]) -> None:
+        """Bulk-feed a (bootstrap) trace without collecting the results."""
+        for packet in trace:
+            self.observe(packet)
+
+    # -- learned-state inspection ---------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of distinct flow buckets seen so far."""
+        return len(self._buckets)
+
+    def recurring_buckets(self) -> List[Tuple[Tuple[Hashable, ...], Set[int]]]:
+        """Buckets with at least one IAT bin seen twice, with those bins.
+
+        These are the flows the FIAT proxy converts into allow rules
+        after the bootstrap window.
+        """
+        result = []
+        for key, state in self._buckets.items():
+            repeated = {b for b, count in state.iat_bins.items() if count >= 2}
+            if repeated:
+                result.append((key, repeated))
+        return result
+
+    def learned_bins(self, key: Tuple[Hashable, ...]) -> Set[int]:
+        """All IAT bins ever computed for a bucket (empty if unseen)."""
+        state = self._buckets.get(key)
+        return set(state.iat_bins) if state else set()
+
+    def last_seen(self, key: Tuple[Hashable, ...]) -> Optional[float]:
+        """Timestamp of the bucket's most recent packet (None if unseen)."""
+        state = self._buckets.get(key)
+        return state.last_timestamp if state else None
+
+
+def label_predictable(
+    trace: Trace,
+    definition: FlowDefinition = FlowDefinition.PORTLESS,
+    dns: Optional[DnsTable] = None,
+    resolution: float = DEFAULT_RESOLUTION,
+    neighbor_bins: int = 1,
+) -> List[bool]:
+    """Offline, retroactive predictability labelling (paper §2.1).
+
+    Returns one boolean per packet of ``trace`` (in timestamp order).
+    A packet is predictable when the IAT bin linking it to the previous
+    packet of its bucket occurs **at least twice** anywhere in the trace;
+    both the earlier and later packets of a repeated IAT are marked, which
+    realises the paper's "previous or future" retroactivity.  The first
+    packet of a bucket is marked predictable when the bucket contains any
+    repeated IAT involving its successor, i.e. when the flow itself is
+    periodic from the start.
+    """
+    dns = dns if dns is not None else trace.dns
+    labels = [False] * len(trace)
+
+    # First pass: compute IAT bins per bucket.
+    last_seen: Dict[Tuple[Hashable, ...], Tuple[int, float]] = {}
+    bucket_packets: Dict[Tuple[Hashable, ...], List[int]] = defaultdict(list)
+    packet_bin: Dict[int, Tuple[Tuple[Hashable, ...], int]] = {}
+    bin_counts: Dict[Tuple[Hashable, ...], Dict[int, int]] = defaultdict(dict)
+
+    packet_pos: Dict[int, int] = {}
+
+    for index, packet in enumerate(trace):
+        key = flow_key(packet, definition, dns)
+        packet_pos[index] = len(bucket_packets[key])
+        bucket_packets[key].append(index)
+        if key in last_seen:
+            prev_index, prev_time = last_seen[key]
+            iat_bin = quantize_iat(packet.timestamp - prev_time, resolution)
+            packet_bin[index] = (key, iat_bin)
+            counts = bin_counts[key]
+            counts[iat_bin] = counts.get(iat_bin, 0) + 1
+        last_seen[key] = (index, packet.timestamp)
+
+    # Second pass: a bin is "repeated" when, considering neighbour bins,
+    # it was computed at least twice in its bucket.
+    def repeated(key: Tuple[Hashable, ...], iat_bin: int) -> bool:
+        counts = bin_counts[key]
+        total = 0
+        for delta in range(-neighbor_bins, neighbor_bins + 1):
+            total += counts.get(iat_bin + delta, 0)
+        return total >= 2
+
+    for index, (key, iat_bin) in packet_bin.items():
+        if repeated(key, iat_bin):
+            labels[index] = True
+            # The predecessor packet participates in the same IAT pair.
+            position = packet_pos[index]
+            if position > 0:
+                labels[bucket_packets[key][position - 1]] = True
+
+    return labels

@@ -1,0 +1,199 @@
+"""Declarative scenario runner: JSON in, security report out.
+
+Downstream users evaluate FIAT against *their* device mix and threat
+assumptions.  A scenario document describes the deployment and the
+timeline declaratively; :func:`run_scenario` builds the system, replays
+the timeline and returns a structured report.  Scenarios are plain JSON
+(see :data:`EXAMPLE_SCENARIO`):
+
+```json
+{
+  "name": "evening-attack",
+  "seed": 7,
+  "devices": ["SP10", "EchoDot4"],
+  "interactions": [{"controller": "EchoDot4", "target": "SP10"}],
+  "timeline": [
+    {"at": 100.0, "action": "user-command", "device": "SP10"},
+    {"at": 200.0, "action": "background", "device": "EchoDot4",
+     "class": "automated"},
+    {"at": 300.0, "action": "attack", "device": "SP10",
+     "attack": "account-compromise"},
+    {"at": 400.0, "action": "attack", "device": "SP10",
+     "attack": "spyware-sync"}
+  ]
+}
+```
+
+Supported actions: ``user-command`` (human interaction + proof + manual
+traffic), ``background`` (control/automated event, no proof), ``attack``
+(``account-compromise`` — no proof; ``spyware-still`` — still-phone
+proof; ``spyware-sync`` — synchronized with a genuine interaction).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from .core import AuditLog, DeviceInteractionGraph, FiatConfig, FiatSystem, build_user_report
+from .net.packet import TrafficClass
+
+__all__ = ["run_scenario", "ScenarioReport", "EXAMPLE_SCENARIO"]
+
+#: A ready-to-run scenario document (also used by the tests).
+EXAMPLE_SCENARIO: Dict[str, Any] = {
+    "name": "evening-attack",
+    "seed": 7,
+    "devices": ["SP10", "EchoDot4"],
+    "interactions": [],
+    "timeline": [
+        {"at": 100.0, "action": "user-command", "device": "SP10"},
+        {"at": 200.0, "action": "background", "device": "EchoDot4", "class": "automated"},
+        {"at": 300.0, "action": "attack", "device": "SP10", "attack": "account-compromise"},
+        {"at": 400.0, "action": "user-command", "device": "EchoDot4"},
+        {"at": 500.0, "action": "attack", "device": "SP10", "attack": "spyware-still"},
+    ],
+}
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario run."""
+
+    name: str
+    #: one record per timeline entry: the entry plus {"executed": bool}
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    #: user-facing per-device digest from the audit log
+    user_report: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: chained audit log of everything the proxy saw
+    audit: Optional[AuditLog] = None
+    alerts: List[str] = field(default_factory=list)
+
+    @property
+    def attacks_blocked(self) -> int:
+        """Attacks from the timeline that did not execute."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o["action"] == "attack" and not o["executed"]
+        )
+
+    @property
+    def user_commands_executed(self) -> int:
+        """Legitimate user commands that went through."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o["action"] == "user-command" and o["executed"]
+        )
+
+    def to_json(self) -> str:
+        """Serialise the report (without the raw audit chain)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "outcomes": self.outcomes,
+                "user_report": self.user_report,
+                "alerts": self.alerts,
+                "attacks_blocked": self.attacks_blocked,
+                "user_commands_executed": self.user_commands_executed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _validate(document: Dict[str, Any]) -> None:
+    if not document.get("devices"):
+        raise ValueError("scenario needs at least one device")
+    for entry in document.get("timeline", []):
+        if entry.get("action") not in ("user-command", "background", "attack"):
+            raise ValueError(f"unknown action {entry.get('action')!r}")
+        if "at" not in entry or "device" not in entry:
+            raise ValueError("timeline entries need 'at' and 'device'")
+
+
+def run_scenario(
+    document: Union[str, Dict[str, Any]],
+    config: Optional[FiatConfig] = None,
+) -> ScenarioReport:
+    """Build a FIAT deployment and replay a scenario timeline."""
+    if isinstance(document, str):
+        document = json.loads(document)
+    _validate(document)
+
+    seed = int(document.get("seed", 0))
+    system = FiatSystem(
+        document["devices"],
+        config=config or FiatConfig(bootstrap_s=0.0),
+        seed=seed,
+    )
+    graph = DeviceInteractionGraph()
+    for edge in document.get("interactions", []):
+        graph.add_edge(
+            edge["controller"], edge["target"], services=edge.get("services", ())
+        )
+    if len(graph):
+        system.proxy.interactions = graph
+        system.proxy.device_ips = {
+            name: f"192.168.1.{10 + i}" for i, name in enumerate(document["devices"])
+        }
+
+    rng = np.random.default_rng(seed + 99)
+    report = ScenarioReport(name=str(document.get("name", "scenario")))
+
+    for entry in sorted(document.get("timeline", []), key=lambda e: e["at"]):
+        when = float(entry["at"])
+        device = str(entry["device"])
+        action = entry["action"]
+        event_seed = int(rng.integers(0, 2**31))
+
+        if action == "user-command":
+            system._send_proof(device, when - 0.5, human=True)
+            packets = system._event_packets(
+                system_profile(system, device), TrafficClass.MANUAL, when, event_seed
+            )
+        elif action == "background":
+            cls = (
+                TrafficClass.AUTOMATED
+                if entry.get("class", "automated") == "automated"
+                else TrafficClass.CONTROL
+            )
+            packets = system._event_packets(
+                system_profile(system, device), cls, when, event_seed
+            )
+        else:  # attack
+            kind = entry.get("attack", "account-compromise")
+            if kind == "spyware-still":
+                system._send_proof(device, when - 0.5, human=False)
+            elif kind == "spyware-sync":
+                system._send_proof(device, when - 0.5, human=True)
+            elif kind != "account-compromise":
+                raise ValueError(f"unknown attack kind {kind!r}")
+            packets = system._event_packets(
+                system_profile(system, device), TrafficClass.ATTACK, when, event_seed
+            )
+
+        allowed = [system.proxy.process(p) for p in packets]
+        executed = all(allowed)
+        report.outcomes.append({**entry, "executed": executed})
+        system.proxy.unlock(device)
+    system.proxy.flush()
+
+    audit = AuditLog()
+    audit.ingest_proxy(system.proxy)
+    report.audit = audit
+    report.user_report = build_user_report(audit)
+    report.alerts = [f"{a.device}: {a.reason}" for a in system.proxy.alerts]
+    return report
+
+
+def system_profile(system: FiatSystem, device: str):
+    """Look up a device's profile within a built system."""
+    for profile in system.profiles:
+        if profile.name == device:
+            return profile
+    raise KeyError(f"device {device!r} not part of the scenario's system")

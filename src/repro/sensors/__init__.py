@@ -1,0 +1,13 @@
+"""Motion-sensor substrate: synthetic traces and humanness validation."""
+
+from .humanness import HumannessValidator, generate_humanness_dataset
+from .motion import GRAVITY, SAMPLE_RATE_HZ, MotionKind, synthesize_window
+
+__all__ = [
+    "MotionKind",
+    "synthesize_window",
+    "SAMPLE_RATE_HZ",
+    "GRAVITY",
+    "HumannessValidator",
+    "generate_humanness_dataset",
+]

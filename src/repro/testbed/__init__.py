@@ -1,0 +1,69 @@
+"""Testbed simulator: devices, cloud, phone, household and attackers."""
+
+from .attacks import (
+    AccountCompromiseAttack,
+    AttackEvent,
+    BruteForceAttack,
+    ReplayAttack,
+    SpywareSyncAttack,
+)
+from .cloud import CloudDirectory, Endpoint, Location
+from .devices import (
+    BOSE_SOUNDTOUCH,
+    TESTBED,
+    BurstSpec,
+    DeviceProfile,
+    EventTemplate,
+    PeriodicFlow,
+    StreamSpec,
+    profile_for,
+)
+from .household import (
+    Household,
+    HouseholdConfig,
+    SimulationResult,
+    generate_labeled_events,
+    render_event,
+)
+from .phone import APP_PACKAGES, ManualInteraction, Phone
+from .routines import (
+    ChainTrigger,
+    DailyTrigger,
+    JitteredDailyTrigger,
+    PeriodicTrigger,
+    Routine,
+    RoutineSchedule,
+)
+
+__all__ = [
+    "Location",
+    "CloudDirectory",
+    "Endpoint",
+    "DeviceProfile",
+    "PeriodicFlow",
+    "EventTemplate",
+    "BurstSpec",
+    "StreamSpec",
+    "TESTBED",
+    "BOSE_SOUNDTOUCH",
+    "profile_for",
+    "Household",
+    "HouseholdConfig",
+    "SimulationResult",
+    "generate_labeled_events",
+    "render_event",
+    "Phone",
+    "ManualInteraction",
+    "APP_PACKAGES",
+    "Routine",
+    "RoutineSchedule",
+    "PeriodicTrigger",
+    "DailyTrigger",
+    "JitteredDailyTrigger",
+    "ChainTrigger",
+    "AttackEvent",
+    "AccountCompromiseAttack",
+    "SpywareSyncAttack",
+    "ReplayAttack",
+    "BruteForceAttack",
+]

@@ -1,0 +1,147 @@
+"""Attacker models from the paper's threat model (§5.1, §7).
+
+All attackers are computationally bounded: they may compromise IoT
+accounts, break into the home WiFi, and install user-space spyware on
+the phone, but cannot break cryptography, fake OS-level sensor data, or
+open TEEs.  Concretely each attack produces *manual-looking* IoT traffic
+(ground-truth class :class:`~repro.net.packet.TrafficClass.ATTACK`)
+with — crucially — no genuine human motion behind it:
+
+* :class:`AccountCompromiseAttack` — remote command injection through a
+  hijacked IoT/IFTTT account; no FIAT auth message exists at all.
+* :class:`SpywareSyncAttack` — user-space spyware that watches for the
+  companion app in the foreground and fires its command at that moment
+  (the §7 "piggyback" attack, which FIAT cannot stop by design).
+* :class:`ReplayAttack` — captures and resends a previous QUIC 0-RTT
+  authentication message verbatim; defeated by the proxy's replay cache.
+* :class:`BruteForceAttack` — repeated injection attempts in a short
+  window, hoping to hit a classifier false negative; triggers the
+  proxy's lockout friction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..net.packet import Packet, TrafficClass
+from .cloud import CloudDirectory, Location
+from .devices import DeviceProfile, profile_for
+from .household import render_event
+
+__all__ = [
+    "AttackEvent",
+    "AccountCompromiseAttack",
+    "SpywareSyncAttack",
+    "ReplayAttack",
+    "BruteForceAttack",
+]
+
+
+@dataclass
+class AttackEvent:
+    """One injected command: packets plus attack metadata."""
+
+    attack: str
+    device: str
+    start: float
+    packets: List[Packet]
+    #: A replayed auth-message wire blob, when the attack carries one.
+    replayed_wire: Optional[bytes] = None
+    #: Whether the attack is synchronised with a live user interaction.
+    synchronized_with_user: bool = False
+
+
+def _render_attack(
+    profile: DeviceProfile,
+    start: float,
+    cloud: CloudDirectory,
+    location: Location,
+    rng: np.random.Generator,
+    attack: str,
+) -> List[Packet]:
+    endpoints = {
+        service: cloud.endpoint(profile.vendor, service, location)
+        for service in profile.manual.services()
+    }
+    return render_event(
+        profile,
+        profile.manual,
+        start,
+        TrafficClass.ATTACK,
+        device_ip="192.168.1.10",
+        endpoints=endpoints,
+        rng=rng,
+        event_id=f"{profile.name}-{attack}-{start:.1f}",
+    )
+
+
+class AccountCompromiseAttack:
+    """Remote attacker with a hijacked account injects device commands."""
+
+    name = "account-compromise"
+
+    def __init__(self, cloud: CloudDirectory, location: Location = Location.US, seed: int = 99) -> None:
+        self.cloud = cloud
+        self.location = location
+        self._rng = np.random.default_rng(seed)
+
+    def launch(self, device: Union[str, DeviceProfile], start: float) -> AttackEvent:
+        """Inject one manual-shaped command with no human behind it."""
+        profile = profile_for(device) if isinstance(device, str) else device
+        packets = _render_attack(profile, start, self.cloud, self.location, self._rng, self.name)
+        return AttackEvent(attack=self.name, device=profile.name, start=start, packets=packets)
+
+
+class SpywareSyncAttack(AccountCompromiseAttack):
+    """Spyware-timed injection while the user genuinely uses the app.
+
+    The §7 piggyback: because real human motion accompanies the attack,
+    FIAT's humanness validation passes and the attack succeeds — the
+    paper's acknowledged residual risk (still strictly harder than
+    defeating 2FA, which needs no such synchronisation).
+    """
+
+    name = "spyware-sync"
+
+    def launch(self, device: Union[str, DeviceProfile], start: float) -> AttackEvent:
+        event = super().launch(device, start)
+        event.attack = self.name
+        event.synchronized_with_user = True
+        return event
+
+
+class ReplayAttack(AccountCompromiseAttack):
+    """Resends a previously captured authentication message verbatim."""
+
+    name = "replay"
+
+    def launch_with_wire(
+        self, device: Union[str, DeviceProfile], start: float, captured_wire: bytes
+    ) -> AttackEvent:
+        """Inject a command and replay ``captured_wire`` as its "proof"."""
+        event = super().launch(device, start)
+        event.attack = self.name
+        event.replayed_wire = captured_wire
+        return event
+
+
+class BruteForceAttack(AccountCompromiseAttack):
+    """Rapid-fire injections hoping for a classifier false negative."""
+
+    name = "brute-force"
+
+    def launch_burst(
+        self, device: Union[str, DeviceProfile], start: float, attempts: int = 8, gap_s: float = 20.0
+    ) -> List[AttackEvent]:
+        """Inject ``attempts`` commands ``gap_s`` seconds apart."""
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        events = []
+        for i in range(attempts):
+            event = super().launch(device, start + i * gap_s)
+            event.attack = self.name
+            events.append(event)
+        return events

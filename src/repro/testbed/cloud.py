@@ -1,0 +1,123 @@
+"""Cloud endpoints, vendors and locations for the testbed simulator.
+
+Section 3.3 ("Location") observes that devices keep the same
+communication *models* across locations but talk to different IPs — and
+sometimes different domains (Google Home uses ``google.co.jp`` from
+Japan).  This module captures that: each vendor owns per-location
+domains; each (vendor, location, service) pair resolves to IPs from a
+location-specific prefix pool, so the PortLess flow definition and the
+IP-octet features behave exactly as in the paper (domains are stable,
+IPs are geolocated noise).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..net.dns import DnsTable
+
+__all__ = ["Location", "CloudDirectory", "Endpoint"]
+
+
+class Location(enum.Enum):
+    """Testbed vantage points (NJ/IL are both "US" for cloud purposes)."""
+
+    US = "US"
+    JP = "JP"
+    DE = "DE"
+
+
+#: First octet of cloud IPs per location — geolocation shows up in the
+#: IP features (and is then found unimportant, Table 4).
+_LOCATION_PREFIX = {Location.US: 172, Location.JP: 35, Location.DE: 18}
+
+#: Country-code TLD substitutions applied to vendor domains per location.
+_LOCATION_TLD = {Location.US: "com", Location.JP: "co.jp", Location.DE: "de"}
+
+#: Well-known remote port per cloud service.  Vendors run push relays and
+#: media services on dedicated ports (e.g. Google's 5228 push port), so
+#: port features carry real signal — as the paper's feature set assumes.
+_SERVICE_PORTS = {
+    "api": 443,
+    "telemetry": 443,
+    "push": 443,
+    "relay": 8883,
+    "stream": 10001,
+    "upload": 8443,
+    "ntp": 123,
+    "keepalive": 7275,
+    "weather": 443,
+    "discovery": 1900,
+    "cdn": 443,
+}
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One resolvable cloud service endpoint.
+
+    Real cloud services resolve to many load-balanced addresses, so an
+    endpoint owns a *pool* of IPs sharing the location's prefix; the
+    PortLess flow definition sees the stable domain, while raw IP
+    features are rotation noise — which is why Table 4 measures zero
+    permutation importance for destination-IP octets.
+    """
+
+    domain: str
+    ips: Tuple[str, ...]
+    port: int
+
+    @property
+    def ip(self) -> str:
+        """A stable representative address (first of the pool)."""
+        return self.ips[0]
+
+    def pick_ip(self, rng: np.random.Generator) -> str:
+        """Draw one address from the pool (per connection)."""
+        return self.ips[int(rng.integers(0, len(self.ips)))]
+
+
+class CloudDirectory:
+    """Allocates stable per-(vendor, service, location) cloud endpoints.
+
+    Endpoints are deterministic in the seed, so repeated simulations of
+    the same household resolve identical addressing — a prerequisite for
+    the predictability heuristic to learn anything.
+    """
+
+    def __init__(self, seed: int = 7, pool_size: int = 24) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.pool_size = pool_size
+        self._endpoints: Dict[Tuple[str, str, Location], Endpoint] = {}
+        self.dns = DnsTable()
+
+    def endpoint(self, vendor: str, service: str, location: Location) -> Endpoint:
+        """Get (allocating on first use) the endpoint of a cloud service."""
+        key = (vendor, service, location)
+        if key not in self._endpoints:
+            tld = _LOCATION_TLD[location]
+            domain = f"{service}.{vendor}.{tld}"
+            prefix = _LOCATION_PREFIX[location]
+            ips = tuple(
+                f"{prefix}.{int(self._rng.integers(1, 255))}."
+                f"{int(self._rng.integers(1, 255))}.{int(self._rng.integers(1, 255))}"
+                for _ in range(self.pool_size)
+            )
+            port = _SERVICE_PORTS.get(service, 443)
+            endpoint = Endpoint(domain=domain, ips=ips, port=port)
+            self._endpoints[key] = endpoint
+            for ip in ips:
+                self.dns.add_record(ip, domain)
+        return self._endpoints[key]
+
+    def relay(self, vendor: str, location: Location) -> Endpoint:
+        """The vendor's relay server (phone <-> device when off-LAN)."""
+        return self.endpoint(vendor, "relay", location)
+
+    def all_endpoints(self) -> List[Endpoint]:
+        """Every endpoint allocated so far."""
+        return list(self._endpoints.values())

@@ -1,0 +1,119 @@
+"""Figure-data exporters: the series behind every paper figure, as CSV.
+
+The offline environment has no plotting stack, so the reproduction
+exposes each figure's underlying data as plain series that any tool
+(gnuplot, matplotlib, a spreadsheet) can render:
+
+* :func:`fig1a_flow_series` — per-flow packet timelines of a device
+  (the scatter rows of Fig 1a);
+* :func:`fig1b_cdf_series` — the predictability CDF of a corpus under a
+  flow definition (one (x, y) series per curve of Fig 1b);
+* :func:`fig1c_interval_cdf` — the max-interval CDF (Fig 1c);
+* :func:`fig2_bars` — per-device, per-class predictability bars (Fig 2);
+* :func:`write_csv` — dump any of the above to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .net.dns import DnsTable
+from .net.flows import FlowDefinition, flow_key, flow_pretty
+from .net.packet import TrafficClass
+from .net.trace import Trace
+from .predictability.analyzer import analyze_trace, cdf, max_predictable_intervals
+from .predictability.buckets import label_predictable
+
+__all__ = [
+    "fig1a_flow_series",
+    "fig1b_cdf_series",
+    "fig1c_interval_cdf",
+    "fig2_bars",
+    "write_csv",
+]
+
+
+def fig1a_flow_series(
+    trace: Trace,
+    definition: FlowDefinition = FlowDefinition.PORTLESS,
+    min_packets: int = 5,
+) -> List[Dict[str, object]]:
+    """Per-flow timelines: Fig 1a's one-row-per-flow scatter data.
+
+    Returns one record per flow with at least ``min_packets`` packets:
+    ``{"flow": label, "timestamps": [...], "predictable_share": float}``,
+    sorted by descending packet count.
+    """
+    labels = label_predictable(trace, definition)
+    per_flow: Dict[Tuple[Hashable, ...], List[Tuple[float, bool]]] = {}
+    for packet, predictable in zip(trace, labels):
+        key = flow_key(packet, definition, trace.dns)
+        per_flow.setdefault(key, []).append((packet.timestamp, predictable))
+    series = []
+    for key, entries in per_flow.items():
+        if len(entries) < min_packets:
+            continue
+        series.append(
+            {
+                "flow": flow_pretty(key, definition),
+                "timestamps": [t for t, _ in entries],
+                "predictable_share": sum(p for _, p in entries) / len(entries),
+            }
+        )
+    series.sort(key=lambda record: -len(record["timestamps"]))
+    return series
+
+
+def fig1b_cdf_series(
+    trace: Trace,
+    definition: FlowDefinition = FlowDefinition.PORTLESS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One CDF curve of Fig 1b: per-device predictable fractions."""
+    report = analyze_trace(trace, definition)
+    return cdf(report.fractions())
+
+
+def fig1c_interval_cdf(
+    trace: Trace,
+    definition: FlowDefinition = FlowDefinition.PORTLESS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig 1c: CDF of max intervals between predictable packets per flow."""
+    intervals = max_predictable_intervals(trace, definition)
+    values = [v for v in intervals.values() if v > 0]
+    return cdf(values)
+
+
+def fig2_bars(
+    trace: Trace,
+    definition: FlowDefinition = FlowDefinition.PORTLESS,
+) -> List[Dict[str, Optional[float]]]:
+    """Fig 2: per-device control/automated/manual predictability bars."""
+    report = analyze_trace(trace, definition)
+    bars = []
+    for device in sorted(report.devices):
+        entry = report.devices[device]
+        bars.append(
+            {
+                "device": device,
+                "control": entry.class_fraction(TrafficClass.CONTROL),
+                "automated": entry.class_fraction(TrafficClass.AUTOMATED),
+                "manual": entry.class_fraction(TrafficClass.MANUAL),
+                "overall": entry.fraction,
+            }
+        )
+    return bars
+
+
+def write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence[object]]) -> int:
+    """Write rows to a CSV file; returns the number of data rows."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        count = 0
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count

@@ -1,0 +1,61 @@
+"""Shared fixtures for the FIAT reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.net import Direction, Packet, Trace
+from repro.testbed import Household, HouseholdConfig, generate_labeled_events
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+def make_packet(
+    timestamp=0.0,
+    size=100,
+    src_ip="192.168.1.10",
+    dst_ip="172.1.2.3",
+    src_port=40000,
+    dst_port=443,
+    protocol="tcp",
+    direction=Direction.OUTBOUND,
+    device="dev",
+    **kwargs,
+):
+    """Packet factory with sensible defaults."""
+    return Packet(
+        timestamp=timestamp,
+        size=size,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        direction=direction,
+        device=device,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def periodic_trace():
+    """A trace with one perfectly periodic flow (10 packets, 10 s apart)."""
+    return Trace([make_packet(timestamp=float(t)) for t in range(0, 100, 10)])
+
+
+@pytest.fixture(scope="session")
+def small_household_result():
+    """One short simulated household (cached for the whole session)."""
+    config = HouseholdConfig(duration_s=1800.0, seed=7)
+    return Household(["EchoDot4", "SP10", "WyzeCam"], config).simulate()
+
+
+@pytest.fixture(scope="session")
+def echodot_events():
+    """Labelled unpredictable events for the EchoDot4 (session cached)."""
+    return generate_labeled_events(
+        "EchoDot4", n_manual=40, n_automated=60, n_control=60, seed=5
+    )

@@ -1,0 +1,174 @@
+"""Tests for the fiat-repro command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def capture_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "home.jsonl")
+    code = main(
+        [
+            "simulate",
+            "--devices",
+            "SP10",
+            "EchoDot4",
+            "--duration",
+            "900",
+            "--seed",
+            "3",
+            "--output",
+            path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--output", "x.jsonl"])
+        assert args.duration == 3600.0
+        assert args.seed == 0
+
+
+class TestSimulate(object):
+    def test_writes_jsonl(self, capture_path, capsys):
+        from repro.net import Trace
+
+        trace = Trace.from_jsonl(capture_path)
+        assert len(trace) > 100
+        assert set(trace.devices()) == {"SP10", "EchoDot4"}
+
+    def test_dns_survives_roundtrip(self, capture_path):
+        from repro.net import Trace
+
+        trace = Trace.from_jsonl(capture_path)
+        resolved = sum(1 for p in trace if trace.dns.domain_for(p.remote_ip))
+        assert resolved / len(trace) > 0.9
+
+    def test_writes_pcap(self, tmp_path):
+        path = str(tmp_path / "home.pcap")
+        assert main(["simulate", "--devices", "SP10", "--duration", "300",
+                     "--output", path]) == 0
+        from repro.net.pcap import read_pcap
+
+        assert len(read_pcap(path)) > 0
+
+
+class TestAnalyze:
+    def test_analyze_output(self, capture_path, capsys):
+        assert main(["analyze", capture_path]) == 0
+        out = capsys.readouterr().out
+        assert "[portless]" in out and "[classic]" in out
+        assert "EchoDot4" in out and "SP10" in out
+
+    def test_single_definition(self, capture_path, capsys):
+        assert main(["analyze", capture_path, "--definitions", "portless"]) == 0
+        out = capsys.readouterr().out
+        assert "[classic]" not in out
+
+
+class TestEvents:
+    def test_events_listing(self, capture_path, capsys):
+        assert main(["events", capture_path, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "unpredictable events" in out
+
+
+class TestEvaluate:
+    def test_evaluate_rule_device(self, capsys):
+        assert main(
+            [
+                "evaluate",
+                "--devices",
+                "SP10",
+                "--manual",
+                "4",
+                "--non-manual",
+                "6",
+                "--attacks",
+                "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SP10" in out
+        assert "humanness" in out
+
+
+class TestTrain:
+    def test_train_and_save_model(self, tmp_path, capsys):
+        path = str(tmp_path / "echodot4.json")
+        assert main(
+            ["train", "--device", "EchoDot4", "--manual", "20",
+             "--non-manual", "30", "--output", path]
+        ) == 0
+        from repro.ml.persistence import load_model
+
+        model, scaler, metadata = load_model(open(path).read())
+        assert metadata["device"] == "EchoDot4"
+        assert scaler is not None
+
+    def test_rule_device_refused(self, tmp_path):
+        path = str(tmp_path / "sp10.json")
+        assert main(["train", "--device", "SP10", "--output", path]) == 1
+
+
+class TestScenario:
+    def test_example_scenario(self, capsys):
+        assert main(["scenario", "--example"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["attacks_blocked"] >= 1
+        assert data["user_commands_executed"] >= 1
+
+    def test_scenario_from_file(self, tmp_path, capsys):
+        from repro.scenarios import EXAMPLE_SCENARIO
+
+        path = str(tmp_path / "scenario.json")
+        with open(path, "w") as handle:
+            json.dump(
+                {**EXAMPLE_SCENARIO, "timeline": EXAMPLE_SCENARIO["timeline"][:2]}, handle
+            )
+        assert main(["scenario", path]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["outcomes"]) == 2
+
+
+class TestExportProfile:
+    def test_export_to_stdout(self, capture_path, capsys):
+        assert main(
+            ["export-profile", capture_path, "--device", "SP10", "--bootstrap", "600"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["device"] == "SP10"
+        assert document["acl"]
+
+    def test_export_to_file(self, capture_path, tmp_path, capsys):
+        out_path = str(tmp_path / "sp10.json")
+        assert main(
+            [
+                "export-profile",
+                capture_path,
+                "--device",
+                "SP10",
+                "--bootstrap",
+                "600",
+                "--output",
+                out_path,
+            ]
+        ) == 0
+        assert json.load(open(out_path))["device"] == "SP10"
+
+    def test_unknown_device_errors(self, capture_path):
+        assert main(["export-profile", capture_path, "--device", "Ghost"]) == 1

@@ -1,0 +1,135 @@
+"""Unit tests for the audit log (§7) and the MUD-style profile export."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    AuditLog,
+    DeviceInteractionGraph,
+    FiatConfig,
+    FiatSystem,
+    RuleTable,
+    build_user_report,
+    export_profile,
+    import_profile,
+)
+from repro.crypto import pair
+from repro.net import FlowDefinition
+from repro.predictability import BucketPredictor
+from tests.conftest import make_packet
+
+
+@pytest.fixture(scope="module")
+def run_system():
+    system = FiatSystem(["SP10"], config=FiatConfig(bootstrap_s=0.0), seed=5)
+    system.run_accuracy(n_manual=5, n_non_manual=10, n_attacks=5)
+    return system
+
+
+class TestAuditChain:
+    def test_append_and_verify(self):
+        log = AuditLog()
+        log.append(1.0, "decision", {"device": "d", "action": "allow"})
+        log.append(2.0, "alert", {"device": "d", "reason": "test"})
+        assert len(log) == 2
+        assert log.verify()
+
+    def test_chain_links(self):
+        log = AuditLog()
+        first = log.append(1.0, "decision", {"a": 1})
+        second = log.append(2.0, "decision", {"a": 2})
+        assert second.previous_hash == first.entry_hash
+
+    def test_tampering_detected(self):
+        log = AuditLog()
+        log.append(1.0, "decision", {"device": "d", "action": "drop"})
+        log.append(2.0, "decision", {"device": "d", "action": "allow"})
+        # An attacker rewrites a record ("drop" -> "allow").
+        tampered = dataclasses.replace(log._entries[0])
+        log._entries[0].payload["action"] = "allow"
+        assert not log.verify()
+
+    def test_deletion_detected(self):
+        log = AuditLog()
+        log.append(1.0, "decision", {"a": 1})
+        log.append(2.0, "decision", {"a": 2})
+        log.append(3.0, "decision", {"a": 3})
+        del log._entries[1]
+        assert not log.verify()
+
+    def test_ingest_proxy_idempotent(self, run_system):
+        log = AuditLog()
+        appended = log.ingest_proxy(run_system.proxy)
+        assert appended == len(run_system.proxy.decisions) + len(run_system.proxy.alerts)
+        assert log.ingest_proxy(run_system.proxy) == 0
+        assert log.verify()
+
+    def test_attestation_signed(self, run_system):
+        phone_ks, proxy_ks = pair("phone", "proxy")
+        log = AuditLog(keystore=proxy_ks, key_alias="fiat-pairing")
+        log.append(1.0, "decision", {"a": 1})
+        wire = log.attestation()
+        assert wire is not None
+        from repro.crypto import SignedMessage
+
+        assert phone_ks.verify(SignedMessage.from_wire(wire))
+
+    def test_no_keystore_no_attestation(self):
+        assert AuditLog().attestation() is None
+
+
+class TestUserReport:
+    def test_report_structure(self, run_system):
+        log = AuditLog()
+        log.ingest_proxy(run_system.proxy)
+        report = build_user_report(log)
+        assert "SP10" in report
+        entry = report["SP10"]
+        assert entry["events"] == entry["allowed"] + entry["blocked"]
+        assert entry["manual_allowed"] >= 1  # the genuine user operations
+        assert entry["blocked"] >= 1  # the blocked attacks
+        assert entry["first"] <= entry["last"]
+
+
+def _learned_table():
+    predictor = BucketPredictor()
+    for t in range(0, 100, 10):
+        predictor.observe(make_packet(timestamp=float(t)))
+    return RuleTable.from_predictor(predictor)
+
+
+class TestMudProfile:
+    def test_export_import_roundtrip(self):
+        table = _learned_table()
+        graph = DeviceInteractionGraph()
+        graph.add_edge("EchoDot4", "SP10", services=["api"], note="voice control")
+        document = export_profile("SP10", table, graph, metadata={"version": "fw-1.2"})
+        restored = import_profile(document)
+        assert restored["device"] == "SP10"
+        assert restored["metadata"] == {"version": "fw-1.2"}
+        assert len(restored["table"]) == len(table)
+        assert restored["interactions"].allows("EchoDot4", "SP10", service="api")
+
+    def test_restored_table_matches_packets(self):
+        table = _learned_table()
+        restored = import_profile(export_profile("d", table))["table"]
+        assert restored.matches(make_packet(timestamp=200.0))
+        assert restored.matches(make_packet(timestamp=210.0))
+        assert not restored.matches(make_packet(timestamp=0.0, size=9999))
+
+    def test_version_check(self):
+        document = export_profile("d", _learned_table()).replace(
+            '"fiat-mud-version": 1', '"fiat-mud-version": 99'
+        )
+        with pytest.raises(ValueError, match="version"):
+            import_profile(document)
+
+    def test_export_is_json(self):
+        import json
+
+        document = export_profile("d", _learned_table())
+        data = json.loads(document)
+        assert data["flow-definition"] == "portless"
+        assert isinstance(data["acl"], list) and data["acl"]
+        assert all("iat-bins" in entry for entry in data["acl"])

@@ -1,0 +1,65 @@
+"""Unit tests for the deployed per-device event classifier."""
+
+import pytest
+
+from repro.core import EventClassifier, SimpleRuleClassifier, train_event_classifier
+from repro.features import event_labels
+from repro.testbed import generate_labeled_events, profile_for
+from tests.conftest import make_packet
+
+
+class TestSimpleRules:
+    def test_rule_matches_distinctive_size(self):
+        rule = SimpleRuleClassifier(manual_size=235)
+        assert rule.is_manual_packets([make_packet(size=235)])
+        assert not rule.is_manual_packets([make_packet(size=198)])
+
+    def test_rule_empty_event(self):
+        assert not SimpleRuleClassifier(235).is_manual_packets([])
+
+    def test_tolerance(self):
+        rule = SimpleRuleClassifier(235, tolerance=2)
+        assert rule.is_manual_packets([make_packet(size=236)])
+        assert not rule.is_manual_packets([make_packet(size=240)])
+
+    def test_rule_device_needs_no_training(self):
+        classifier = train_event_classifier(profile_for("SP10"))
+        assert classifier.uses_rules
+        assert classifier.is_manual([make_packet(size=235)])
+
+
+class TestMlClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self, echodot_events):
+        return train_event_classifier(profile_for("EchoDot4"), echodot_events)
+
+    def test_requires_training_events(self):
+        with pytest.raises(ValueError, match="training events"):
+            train_event_classifier(profile_for("EchoDot4"))
+
+    def test_classifies_held_out_events(self, trained):
+        events = generate_labeled_events(
+            "EchoDot4", n_manual=30, n_automated=30, n_control=30, seed=77
+        )
+        labels = event_labels(events)
+        correct = sum(
+            trained.classify_packets(event.first_n(5)) == label
+            for event, label in zip(events, labels)
+        )
+        assert correct / len(events) > 0.8
+
+    def test_is_manual_collapses(self, trained, echodot_events):
+        event = next(e for e in echodot_events if e.is_manual)
+        assert trained.is_manual(event.first_n(5)) in (True, False)
+
+    def test_constructor_requires_rule_or_model(self):
+        with pytest.raises(ValueError):
+            EventClassifier(device="x")
+
+    def test_manual_recall_paper_band(self, trained):
+        events = generate_labeled_events(
+            "EchoDot4", n_manual=60, n_automated=0, n_control=0, seed=88
+        )
+        hits = sum(trained.is_manual(e.first_n(5)) for e in events)
+        # Table 6: manual recall >= 0.92 for every device.
+        assert hits / len(events) > 0.8

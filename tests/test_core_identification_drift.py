@@ -1,0 +1,162 @@
+"""Tests for device identification and rule drift adaptation (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeviceIdentifier,
+    FiatConfig,
+    FiatProxy,
+    HumanValidationService,
+    RuleTable,
+    device_fingerprint,
+)
+from repro.crypto import pair
+from repro.net import Trace
+from repro.predictability import BucketPredictor
+from repro.sensors import HumannessValidator
+from repro.testbed import TESTBED, Household, HouseholdConfig
+from tests.conftest import make_packet
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return DeviceIdentifier.fit_from_testbed(n_windows=3, window_s=900.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def fresh_household():
+    config = HouseholdConfig(
+        duration_s=900.0, seed=777, manual_interval_s=(1e9, 2e9)
+    )
+    result = Household(list(TESTBED), config).simulate()
+    result.trace.dns = result.cloud.dns
+    return result
+
+
+class TestFingerprint:
+    def test_feature_length(self, fresh_household):
+        from repro.core import IDENTIFICATION_FEATURES
+
+        trace = fresh_household.trace.for_device("SP10")
+        trace.dns = fresh_household.cloud.dns
+        fp = device_fingerprint(trace)
+        assert fp.shape == (len(IDENTIFICATION_FEATURES),)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            device_fingerprint(Trace([]))
+
+    def test_plug_vs_speaker_differ(self, fresh_household):
+        plug = fresh_household.trace.for_device("SP10")
+        speaker = fresh_household.trace.for_device("EchoDot4")
+        plug.dns = speaker.dns = fresh_household.cloud.dns
+        assert not np.allclose(device_fingerprint(plug), device_fingerprint(speaker))
+
+
+class TestIdentifier:
+    def test_unseen_household_identified(self, identifier, fresh_household):
+        predictions = identifier.identify_household(fresh_household.trace)
+        truth = {name: profile.device_class for name, profile in TESTBED.items()}
+        correct = sum(predictions[d] == truth[d] for d in predictions)
+        assert correct / len(predictions) >= 0.8
+
+    def test_identify_before_fit_raises(self, fresh_household):
+        with pytest.raises(RuntimeError):
+            DeviceIdentifier().identify(fresh_household.trace.for_device("SP10"))
+
+
+def _periodic(start, end, size=100, period=10.0):
+    return [make_packet(timestamp=float(t), size=size) for t in np.arange(start, end, period)]
+
+
+class TestRuleAging:
+    def _table(self):
+        predictor = BucketPredictor()
+        predictor.learn_trace(Trace(_periodic(0, 100)))
+        return RuleTable.from_predictor(predictor)
+
+    def test_active_rule_survives(self):
+        table = self._table()
+        for t in (200.0, 210.0, 220.0):
+            table.matches(make_packet(timestamp=t))
+        assert table.expire_stale(now=250.0, ttl_s=100.0) == 0
+        assert len(table) == 1
+
+    def test_stale_rule_expires(self):
+        table = self._table()
+        table.matches(make_packet(timestamp=200.0))
+        assert table.expire_stale(now=2000.0, ttl_s=600.0) == 1
+        assert len(table) == 0
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            self._table().expire_stale(now=0.0, ttl_s=0.0)
+
+    def test_merge_from_predictor_adds_new_flows(self):
+        table = self._table()
+        predictor = BucketPredictor()
+        predictor.learn_trace(Trace(_periodic(300, 400, size=555, period=20.0)))
+        assert table.merge_from_predictor(predictor, now=400.0) == 1
+        assert table.matches(make_packet(timestamp=500.0, size=555))
+
+    def test_expired_rule_not_resurrected_by_merge(self):
+        """The predictor's long memory must not undo expiry."""
+        table = self._table()
+        predictor = BucketPredictor()
+        predictor.learn_trace(Trace(_periodic(0, 100)))  # flow dies at t=100
+        table.matches(make_packet(timestamp=100.0))
+        assert table.expire_stale(now=2000.0, ttl_s=600.0) == 1
+        # refresh with idle guard: the dead flow stays out
+        assert table.merge_from_predictor(predictor, now=2000.0, max_idle_s=600.0) == 0
+        assert len(table) == 0
+        # without the guard it would come back (documenting the knob)
+        assert table.merge_from_predictor(predictor, now=2000.0) == 1
+
+
+class TestProxyDriftAdaptation:
+    def test_new_flow_learned_after_refresh(self):
+        """A heartbeat that appears post-bootstrap becomes a rule."""
+        _, proxy_ks = pair("a", "b")
+        proxy = FiatProxy(
+            config=FiatConfig(
+                bootstrap_s=100.0, rule_refresh_s=100.0, rule_ttl_s=None
+            ),
+            dns=None,
+            classifiers={},
+            validation=HumanValidationService(
+                proxy_ks, validator=HumannessValidator(n_train_per_class=60, seed=0).fit()
+            ),
+            app_for_device={},
+        )
+        # bootstrap flow
+        for p in _periodic(0, 100):
+            proxy.process(p)
+        # a NEW periodic flow (firmware update) appears at t=100
+        outcomes = []
+        for p in _periodic(100, 400, size=777, period=10.0):
+            outcomes.append(proxy.process(p))
+        proxy.flush()
+        # After the refresh the flow hits rules directly (continuing the
+        # 10-second cadence from the last observed packet at t=390).
+        late = [proxy._rules.matches(make_packet(timestamp=t, size=777))
+                for t in (400.0, 410.0)]
+        assert all(late)
+
+    def test_frozen_mode_never_learns(self):
+        _, proxy_ks = pair("a", "b")
+        proxy = FiatProxy(
+            config=FiatConfig(bootstrap_s=100.0),  # no refresh configured
+            dns=None,
+            classifiers={},
+            validation=HumanValidationService(
+                proxy_ks, validator=HumannessValidator(n_train_per_class=60, seed=0).fit()
+            ),
+            app_for_device={},
+        )
+        for p in _periodic(0, 100):
+            proxy.process(p)
+        for p in _periodic(100, 400, size=777, period=10.0):
+            proxy.process(p)
+        proxy.flush()
+        assert not proxy._rules.matches(make_packet(timestamp=500.0, size=777))

@@ -1,0 +1,155 @@
+"""Unit tests for the §7 device-interaction DAG extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CycleError,
+    DeviceInteractionGraph,
+    FiatConfig,
+    FiatProxy,
+    HumanValidationService,
+    InteractionRule,
+    train_event_classifier,
+)
+from repro.crypto import pair
+from repro.net import Direction, Packet, TrafficClass
+from repro.sensors import HumannessValidator
+from repro.testbed import profile_for
+
+
+class TestGraphConstruction:
+    def test_add_and_query(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("Alexa", "SmartLight")
+        assert graph.allows("Alexa", "SmartLight")
+        assert not graph.allows("SmartLight", "Alexa")
+        assert len(graph) == 1
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionRule(controller="a", target="a")
+
+    def test_cycle_rejected(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        with pytest.raises(CycleError):
+            graph.add_edge("c", "a")
+
+    def test_two_cycle_rejected(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("a", "b")
+        with pytest.raises(CycleError):
+            graph.add_edge("b", "a")
+
+    def test_remove_edge(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("a", "b")
+        assert graph.remove_edge("a", "b")
+        assert not graph.allows("a", "b")
+        assert not graph.remove_edge("a", "b")
+
+    def test_removed_edge_unblocks_reverse(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("a", "b")
+        graph.remove_edge("a", "b")
+        graph.add_edge("b", "a")  # no longer a cycle
+        assert graph.allows("b", "a")
+
+
+class TestGraphQueries:
+    def test_reachable_transitive(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("hub", "light")
+        graph.add_edge("alexa", "hub")
+        assert graph.reachable("alexa") == {"hub", "light"}
+        assert graph.reachable("light") == set()
+
+    def test_transitive_does_not_authorize_directly(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("alexa", "hub")
+        graph.add_edge("hub", "light")
+        assert not graph.allows("alexa", "light")  # every hop is explicit
+
+    def test_service_restriction(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("alexa", "light", services=["api"])
+        assert graph.allows("alexa", "light", service="api")
+        assert not graph.allows("alexa", "light", service="stream")
+        assert graph.allows("alexa", "light")  # unspecified service passes
+
+    def test_topological_order(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("a", "c")
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_allows_packet(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("EchoDot4", "SP10")
+        device_ips = {"EchoDot4": "192.168.1.11", "SP10": "192.168.1.12"}
+        packet = Packet(
+            timestamp=0.0,
+            size=235,
+            src_ip="192.168.1.11",
+            dst_ip="192.168.1.12",
+            src_port=40000,
+            dst_port=443,
+            protocol="tcp",
+            direction=Direction.INBOUND,
+            device="SP10",
+        )
+        assert graph.allows_packet(packet, device_ips)
+        assert not graph.allows_packet(packet, {"SP10": "192.168.1.12"})
+
+
+class TestProxyIntegration:
+    def _proxy(self, graph, device_ips):
+        _, proxy_ks = pair("phone", "proxy")
+        return FiatProxy(
+            config=FiatConfig(bootstrap_s=0.0),
+            dns=None,
+            classifiers={"SP10": train_event_classifier(profile_for("SP10"))},
+            validation=HumanValidationService(
+                proxy_ks, validator=HumannessValidator(n_train_per_class=60, seed=0).fit()
+            ),
+            app_for_device={},
+            interactions=graph,
+            device_ips=device_ips,
+        )
+
+    def _alexa_command(self):
+        # A manual-shaped SP10 command arriving from the EchoDot4's LAN IP.
+        return [
+            Packet(
+                timestamp=10.0 + 0.1 * i,
+                size=235 if i == 0 else 180,
+                src_ip="192.168.1.11",
+                dst_ip="192.168.1.12",
+                src_port=40001,
+                dst_port=443,
+                protocol="tcp",
+                direction=Direction.INBOUND,
+                device="SP10",
+                traffic_class=TrafficClass.MANUAL,
+            )
+            for i in range(2)
+        ]
+
+    def test_device_command_blocked_without_rule(self):
+        proxy = self._proxy(DeviceInteractionGraph(), {"EchoDot4": "192.168.1.11"})
+        allowed = [proxy.process(p) for p in self._alexa_command()]
+        assert not any(allowed)
+
+    def test_device_command_allowed_with_rule(self):
+        graph = DeviceInteractionGraph()
+        graph.add_edge("EchoDot4", "SP10")
+        proxy = self._proxy(graph, {"EchoDot4": "192.168.1.11"})
+        allowed = [proxy.process(p) for p in self._alexa_command()]
+        assert all(allowed)
+        proxy.flush()
+        decision = proxy.decisions[-1]
+        assert decision.predicted_manual and not decision.blocked

@@ -1,0 +1,120 @@
+"""Unit tests for the Table-7 latency model and the Appendix-A math."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LAN_SCENARIO,
+    MOBILE_SCENARIO,
+    TABLE7_OPERATIONS,
+    TCP_TOLERANCE_S,
+    Recalls,
+    command_impaired,
+    false_negative,
+    fp_blocked_manual,
+    fp_blocked_non_manual,
+    table6_error_columns,
+    time_to_first_packet,
+    validation_breakdown,
+)
+from repro.quic import Transport
+
+
+class TestAppendixA:
+    def test_echo_dot_4_row(self):
+        """Reproduce Table 6's Echo Dot 4 error columns exactly."""
+        assert fp_blocked_non_manual(0.985, 0.934) == pytest.approx(0.0140, abs=1e-4)
+        assert fp_blocked_manual(0.98, 0.982) == pytest.approx(0.0176, abs=1e-4)
+        assert false_negative(0.98, 0.982) == pytest.approx(0.0376, abs=1e-4)
+
+    def test_e4_row(self):
+        """E4 Mop Robot: FN = 5.72 % in Table 6."""
+        assert false_negative(0.96, 0.982) == pytest.approx(0.0572, abs=1e-4)
+
+    def test_perfect_classifier_perfect_validator(self):
+        assert fp_blocked_non_manual(1.0, 1.0) == 0.0
+        assert fp_blocked_manual(1.0, 1.0) == 0.0
+        assert false_negative(1.0, 1.0) == 0.0
+
+    def test_recalls_validation(self):
+        with pytest.raises(ValueError):
+            Recalls(manual=1.2, non_manual=1.0, human=1.0, non_human=1.0)
+
+    def test_table6_columns_helper(self):
+        columns = table6_error_columns(
+            Recalls(manual=0.98, non_manual=0.985, human=0.934, non_human=0.982)
+        )
+        assert columns["fp_manual"] == pytest.approx(0.0140, abs=1e-4)
+        assert columns["fp_non_manual"] == pytest.approx(0.0176, abs=1e-4)
+        assert columns["false_negative"] == pytest.approx(0.0376, abs=1e-4)
+
+
+class TestLatencyModel:
+    def test_fiat_always_faster_lan(self, rng):
+        """Table 7: validation beats time-to-first-packet by >74 % on LAN."""
+        for operation in TABLE7_OPERATIONS:
+            first = np.mean(
+                [time_to_first_packet(operation, LAN_SCENARIO, rng) for _ in range(50)]
+            )
+            validation = np.mean(
+                [
+                    validation_breakdown(LAN_SCENARIO, Transport.QUIC_0RTT, rng)[
+                        "time_to_validation"
+                    ]
+                    for _ in range(50)
+                ]
+            )
+            assert validation < first * 0.3, operation.device
+
+    def test_fiat_faster_mobile(self, rng):
+        """Mobile: still >50 % faster than the command."""
+        for operation in TABLE7_OPERATIONS:
+            first = np.mean(
+                [time_to_first_packet(operation, MOBILE_SCENARIO, rng) for _ in range(50)]
+            )
+            validation = np.mean(
+                [
+                    validation_breakdown(MOBILE_SCENARIO, Transport.QUIC_0RTT, rng)[
+                        "time_to_validation"
+                    ]
+                    for _ in range(50)
+                ]
+            )
+            assert validation < first * 0.5, operation.device
+
+    def test_zero_rtt_beats_one_rtt(self, rng):
+        zero = np.mean(
+            [
+                validation_breakdown(MOBILE_SCENARIO, Transport.QUIC_0RTT, rng)["transport"]
+                for _ in range(100)
+            ]
+        )
+        one = np.mean(
+            [
+                validation_breakdown(MOBILE_SCENARIO, Transport.QUIC_1RTT, rng)["transport"]
+                for _ in range(100)
+            ]
+        )
+        assert zero < one
+
+    def test_component_magnitudes(self, rng):
+        components = validation_breakdown(LAN_SCENARIO, Transport.QUIC_0RTT, rng)
+        assert 30.0 < components["app_detection"] < 120.0
+        assert 200.0 < components["sensor_sampling"] < 300.0
+        assert 20.0 < components["secure_storage"] < 80.0
+        assert components["ml_validation"] < 5.0
+
+    def test_four_paper_operations(self):
+        assert {op.device for op in TABLE7_OPERATIONS} == {
+            "WyzeCam",
+            "SP10",
+            "EchoDot4",
+            "HomeMini",
+        }
+
+
+class TestDelayTolerance:
+    def test_two_second_threshold(self):
+        assert not command_impaired(0.5)
+        assert not command_impaired(TCP_TOLERANCE_S)
+        assert command_impaired(2.5)

@@ -1,0 +1,193 @@
+"""Unit tests for the FIAT proxy pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import FiatConfig, FiatProxy, HumanValidationService, train_event_classifier
+from repro.crypto import pair
+from repro.net import TrafficClass
+from repro.quic import LAN_PATH, Transport
+from repro.sensors import HumannessValidator
+from repro.testbed import APP_PACKAGES, CloudDirectory, Location, Phone, profile_for
+from repro.testbed.household import render_event
+from repro.core.client import FiatApp
+from tests.conftest import make_packet
+
+
+@pytest.fixture
+def proxy_stack(echodot_events):
+    phone_ks, proxy_ks = pair("phone", "proxy")
+    validation = HumanValidationService(
+        proxy_ks, validator=HumannessValidator(n_train_per_class=150, seed=0).fit()
+    )
+    classifiers = {
+        "EchoDot4": train_event_classifier(profile_for("EchoDot4"), echodot_events),
+        "SP10": train_event_classifier(profile_for("SP10")),
+    }
+    proxy = FiatProxy(
+        config=FiatConfig(bootstrap_s=0.0),
+        dns=None,
+        classifiers=classifiers,
+        validation=validation,
+        app_for_device=dict(APP_PACKAGES),
+    )
+    app = FiatApp(phone_ks, "fiat-pairing", "phone-1", LAN_PATH, Transport.QUIC_0RTT, seed=0)
+    return proxy, app, Phone(seed=1)
+
+
+def _manual_packets(device, start, seed=0):
+    profile = profile_for(device)
+    cloud = CloudDirectory(seed=5)
+    endpoints = {
+        s: cloud.endpoint(profile.vendor, s, Location.US) for s in profile.manual.services()
+    }
+    return render_event(
+        profile,
+        profile.manual,
+        start,
+        TrafficClass.MANUAL,
+        "192.168.1.10",
+        endpoints,
+        np.random.default_rng(seed),
+        event_id=f"{device}-manual-x",
+    )
+
+
+class TestBootstrapAndRules:
+    def test_bootstrap_allows_everything(self):
+        proxy = FiatProxy(
+            config=FiatConfig(bootstrap_s=100.0),
+            dns=None,
+            classifiers={},
+            validation=HumanValidationService(
+                pair("a", "b")[1], validator=HumannessValidator(n_train_per_class=60).fit()
+            ),
+            app_for_device={},
+        )
+        for t in range(0, 90, 10):
+            assert proxy.process(make_packet(timestamp=float(t)))
+        assert proxy.rules is None
+
+    def test_learned_flow_allowed_after_bootstrap(self):
+        proxy = FiatProxy(
+            config=FiatConfig(bootstrap_s=50.0),
+            dns=None,
+            classifiers={},
+            validation=HumanValidationService(
+                pair("a", "b")[1], validator=HumannessValidator(n_train_per_class=60).fit()
+            ),
+            app_for_device={},
+        )
+        for t in range(0, 50, 10):
+            proxy.process(make_packet(timestamp=float(t)))
+        assert proxy.process(make_packet(timestamp=50.0))
+        assert proxy.rules is not None and len(proxy.rules) == 1
+
+
+class TestManualEnforcement:
+    def test_manual_without_proof_blocked(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        packets = _manual_packets("SP10", start=10.0)
+        allowed = [proxy.process(p) for p in packets]
+        proxy.flush()
+        # rule device: decision on packet 1, everything dropped
+        assert not any(allowed)
+        decision = proxy.decisions[-1]
+        assert decision.predicted_manual and decision.blocked
+        assert proxy.alerts
+
+    def test_manual_with_human_proof_allowed(self, proxy_stack):
+        proxy, app, phone = proxy_stack
+        interaction = phone.interact("SP10", 9.0, human=True, intensity=1.2)
+        attempt = app.authenticate(interaction, now=9.0)
+        proxy.receive_auth(attempt.wire, now=9.1)
+        packets = _manual_packets("SP10", start=10.0)
+        allowed = [proxy.process(p) for p in packets]
+        proxy.flush()
+        assert all(allowed)
+        assert proxy.decisions[-1].human_backed is True
+
+    def test_non_human_proof_still_blocked(self, proxy_stack):
+        proxy, app, phone = proxy_stack
+        interaction = phone.interact("SP10", 9.0, human=False)
+        attempt = app.authenticate(interaction, now=9.0)
+        proxy.receive_auth(attempt.wire, now=9.1)
+        packets = _manual_packets("SP10", start=10.0)
+        allowed = [proxy.process(p) for p in packets]
+        proxy.flush()
+        assert not any(allowed)
+
+    def test_ml_device_first_n_allowed_then_blocked(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        packets = _manual_packets("EchoDot4", start=10.0, seed=4)
+        if len(packets) <= 5:
+            packets = _manual_packets("EchoDot4", start=10.0, seed=7)
+        allowed = [proxy.process(p) for p in packets]
+        proxy.flush()
+        decision = proxy.decisions[-1]
+        if decision.predicted_manual:
+            # first N-1 pass, the rest dropped: command cannot complete
+            assert all(allowed[:4])
+            assert not any(allowed[5:])
+
+    def test_unknown_device_fails_open(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        packets = _manual_packets("WyzeCam", start=10.0)  # no classifier registered
+        allowed = [proxy.process(p) for p in packets]
+        proxy.flush()
+        assert all(allowed)
+
+
+class TestLockout:
+    def test_repeated_violations_lock_device(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        for i in range(3):
+            for p in _manual_packets("SP10", start=10.0 + 20.0 * i, seed=i):
+                proxy.process(p)
+        assert proxy.is_locked("SP10")
+        assert any("lockout" in a.reason for a in proxy.alerts)
+        # Everything from the locked device is now dropped, even rules.
+        assert not proxy.process(make_packet(timestamp=100.0, device="SP10"))
+
+    def test_unlock_restores(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        for i in range(3):
+            for p in _manual_packets("SP10", start=10.0 + 20.0 * i, seed=i):
+                proxy.process(p)
+        proxy.unlock("SP10")
+        assert not proxy.is_locked("SP10")
+
+
+class TestDecisionLog:
+    def test_non_manual_event_logged_allowed(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        profile = profile_for("EchoDot4")
+        cloud = CloudDirectory(seed=6)
+        endpoints = {
+            s: cloud.endpoint(profile.vendor, s, Location.US)
+            for s in profile.control_noise.services()
+        }
+        packets = render_event(
+            profile,
+            profile.control_noise,
+            0.0,
+            TrafficClass.CONTROL,
+            "192.168.1.10",
+            endpoints,
+            np.random.default_rng(3),
+            event_id="EchoDot4-control-x",
+        )
+        for p in packets:
+            proxy.process(p)
+        proxy.flush()
+        decision = proxy.decisions[-1]
+        assert decision.truth == "control"
+        assert decision.n_packets == len(packets)
+
+    def test_decisions_for_filters(self, proxy_stack):
+        proxy, _, _ = proxy_stack
+        for p in _manual_packets("SP10", start=0.0):
+            proxy.process(p)
+        proxy.flush()
+        assert all(d.device == "SP10" for d in proxy.decisions_for("SP10"))
+        assert proxy.decisions_for("EchoDot4") == []

@@ -1,0 +1,77 @@
+"""Unit tests for the event-driven proof-vs-command race (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LAN_SCENARIO,
+    MOBILE_SCENARIO,
+    TABLE7_OPERATIONS,
+    race_statistics,
+    simulate_race,
+)
+from repro.quic import Transport
+
+
+class TestSingleRace:
+    def test_proof_wins_by_default(self, rng):
+        outcome = simulate_race(TABLE7_OPERATIONS[0], LAN_SCENARIO, rng=rng)
+        assert outcome.proof_won
+        assert outcome.hold_ms == 0.0
+        assert outcome.completed
+
+    def test_fields_consistent(self, rng):
+        outcome = simulate_race(TABLE7_OPERATIONS[1], LAN_SCENARIO, rng=rng)
+        assert outcome.device == "SP10"
+        assert outcome.command_arrival_ms > 0
+        assert outcome.proof_ready_ms > 0
+
+    def test_delayed_proof_holds_packet(self, rng):
+        outcome = simulate_race(
+            TABLE7_OPERATIONS[1], LAN_SCENARIO, extra_validation_delay_s=1.5, rng=rng
+        )
+        assert not outcome.proof_won
+        assert outcome.hold_ms > 0.0
+        assert outcome.completed  # within the TCP budget
+
+    def test_excessive_delay_breaks_command(self, rng):
+        outcome = simulate_race(
+            TABLE7_OPERATIONS[1], LAN_SCENARIO, extra_validation_delay_s=5.0, rng=rng
+        )
+        assert not outcome.completed
+
+
+class TestStatistics:
+    def test_no_added_latency_on_all_operations(self):
+        """§6 headline: FIAT imposes no hold on any measured operation."""
+        for operation in TABLE7_OPERATIONS:
+            for scenario in (LAN_SCENARIO, MOBILE_SCENARIO):
+                stats = race_statistics(operation, scenario, n=60, seed=0)
+                assert stats["proof_win_rate"] > 0.95, (operation.device, scenario.name)
+                assert stats["mean_hold_ms"] < 5.0
+                assert stats["completion_rate"] == 1.0
+
+    def test_one_rtt_still_wins(self):
+        stats = race_statistics(
+            TABLE7_OPERATIONS[0], MOBILE_SCENARIO, n=60,
+            transport=Transport.QUIC_1RTT, seed=1,
+        )
+        assert stats["proof_win_rate"] > 0.8
+
+    def test_two_second_delay_survivable(self):
+        """§6 tolerance: devices survive ~2 s of extra validation delay."""
+        stats = race_statistics(
+            TABLE7_OPERATIONS[1], LAN_SCENARIO, n=60,
+            extra_validation_delay_s=1.8, seed=2,
+        )
+        assert stats["completion_rate"] > 0.95
+        stats = race_statistics(
+            TABLE7_OPERATIONS[1], LAN_SCENARIO, n=60,
+            extra_validation_delay_s=4.0, seed=2,
+        )
+        assert stats["completion_rate"] < 0.2
+
+    def test_deterministic_given_seed(self):
+        a = race_statistics(TABLE7_OPERATIONS[0], LAN_SCENARIO, n=20, seed=7)
+        b = race_statistics(TABLE7_OPERATIONS[0], LAN_SCENARIO, n=20, seed=7)
+        assert a == b

@@ -1,0 +1,71 @@
+"""Unit tests for the bootstrap rule table."""
+
+import pytest
+
+from repro.core import RuleTable
+from repro.net import FlowDefinition
+from repro.predictability import BucketPredictor
+from tests.conftest import make_packet
+
+
+def _bootstrapped_table():
+    predictor = BucketPredictor()
+    for t in range(0, 100, 10):
+        predictor.observe(make_packet(timestamp=float(t)))
+    return RuleTable.from_predictor(predictor)
+
+
+class TestRuleCreation:
+    def test_recurring_flow_becomes_rule(self):
+        table = _bootstrapped_table()
+        assert len(table) == 1
+
+    def test_single_occurrence_no_rule(self):
+        predictor = BucketPredictor()
+        predictor.observe(make_packet(timestamp=0.0))
+        predictor.observe(make_packet(timestamp=7.0, size=999))
+        table = RuleTable.from_predictor(predictor)
+        assert len(table) == 0
+
+    def test_irregular_flow_no_rule(self):
+        predictor = BucketPredictor()
+        for t in (0.0, 3.0, 11.0, 30.0):
+            predictor.observe(make_packet(timestamp=t))
+        assert len(RuleTable.from_predictor(predictor)) == 0
+
+
+class TestMatching:
+    def test_matching_packet_hits(self):
+        table = _bootstrapped_table()
+        assert table.matches(make_packet(timestamp=200.0))  # first: bucket-only
+        assert table.matches(make_packet(timestamp=210.0))  # right IAT
+        assert table.hit_rate == 1.0
+
+    def test_wrong_iat_misses(self):
+        table = _bootstrapped_table()
+        table.matches(make_packet(timestamp=200.0))
+        assert not table.matches(make_packet(timestamp=203.0))
+        assert table.n_misses == 1
+
+    def test_unknown_bucket_misses(self):
+        table = _bootstrapped_table()
+        assert not table.matches(make_packet(timestamp=0.0, size=4444))
+
+    def test_neighbor_bin_tolerance(self):
+        table = _bootstrapped_table()
+        table.matches(make_packet(timestamp=200.0))
+        assert table.matches(make_packet(timestamp=210.2))
+
+    def test_manual_rule_injection(self):
+        # §7's DAG extension: manually allow a flow.
+        table = _bootstrapped_table()
+        packet = make_packet(timestamp=0.0, size=777)
+        from repro.net.flows import flow_key
+
+        key = flow_key(packet, table.definition, table.dns)
+        table.add_rule(key, {40})
+        assert table.matches(packet)
+
+    def test_hit_rate_empty(self):
+        table = _bootstrapped_table()
+        assert table.hit_rate == 0.0

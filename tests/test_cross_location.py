@@ -1,0 +1,80 @@
+"""Cross-location end-to-end coverage (§3.3 'Location', §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FiatConfig, FiatSystem
+from repro.core.classifier import train_event_classifier
+from repro.features import event_labels
+from repro.ml import f1_score
+from repro.testbed import (
+    CloudDirectory,
+    Household,
+    HouseholdConfig,
+    Location,
+    generate_labeled_events,
+    profile_for,
+)
+
+
+class TestLocationAddressing:
+    def test_domains_follow_location(self):
+        cloud = CloudDirectory(seed=1)
+        for location, suffix in (
+            (Location.US, ".com"),
+            (Location.JP, ".co.jp"),
+            (Location.DE, ".de"),
+        ):
+            endpoint = cloud.endpoint("google", "api", location)
+            assert endpoint.domain.endswith(suffix)
+
+    def test_household_at_vpn_location(self):
+        config = HouseholdConfig(duration_s=600.0, seed=4, location=Location.DE)
+        result = Household(["EchoDot4"], config).simulate()
+        domains = {
+            result.cloud.dns.domain_for(p.remote_ip)
+            for p in result.trace
+        }
+        domains.discard(None)
+        assert domains and all(d.endswith(".de") for d in domains)
+
+    def test_ip_prefixes_differ_by_location(self):
+        cloud = CloudDirectory(seed=1)
+        us = cloud.endpoint("wyze", "api", Location.US)
+        jp = cloud.endpoint("wyze", "api", Location.JP)
+        us_prefixes = {ip.split(".")[0] for ip in us.ips}
+        jp_prefixes = {ip.split(".")[0] for ip in jp.ips}
+        assert us_prefixes.isdisjoint(jp_prefixes)
+
+
+class TestCrossLocationDeployment:
+    def test_fiat_system_at_de_location(self):
+        """The full Table-6 pipeline works at a VPN location."""
+        system = FiatSystem(
+            ["SP10", "EchoDot4"],
+            config=FiatConfig(bootstrap_s=0.0),
+            location=Location.DE,
+            seed=9,
+            n_training_events=120,
+        )
+        results = system.run_accuracy(n_manual=10, n_non_manual=20, n_attacks=10)
+        assert results["SP10"].manual_recall == 1.0
+        assert results["EchoDot4"].manual_recall > 0.7
+
+    def test_model_trained_us_deployed_jp(self):
+        """§4.3's transfer, exercised through the deployed classifier."""
+        profile = profile_for("WyzeCam")
+        us_events = generate_labeled_events(
+            profile, location=Location.US, n_manual=50, n_automated=80,
+            n_control=80, seed=30,
+        )
+        classifier = train_event_classifier(profile, us_events)
+        jp_events = generate_labeled_events(
+            profile, location=Location.JP, n_manual=40, n_automated=60,
+            n_control=60, seed=31,
+        )
+        truth = event_labels(jp_events)
+        predictions = np.array(
+            [classifier.classify_packets(e.first_n(5)) for e in jp_events]
+        )
+        assert f1_score(truth, predictions, "manual") > 0.75

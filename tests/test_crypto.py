@@ -1,0 +1,100 @@
+"""Unit tests for the keystore, pairing and replay protection."""
+
+import pytest
+
+from repro.crypto import (
+    KeystoreError,
+    ReplayCache,
+    SecureKeystore,
+    SignedMessage,
+    pair,
+    payload_digest,
+)
+
+
+class TestKeystore:
+    def test_sign_verify_roundtrip(self):
+        store = SecureKeystore("phone")
+        store.generate_key("k1")
+        message = store.sign("k1", b"hello")
+        assert store.verify(message)
+
+    def test_tampered_payload_fails(self):
+        store = SecureKeystore("phone")
+        store.generate_key("k1")
+        message = store.sign("k1", b"hello")
+        forged = SignedMessage(payload=b"evil", signature=message.signature, key_alias="k1")
+        assert not store.verify(forged)
+
+    def test_unknown_alias_verifies_false(self):
+        store = SecureKeystore("proxy")
+        message = SignedMessage(payload=b"x", signature="00" * 32, key_alias="ghost")
+        assert not store.verify(message)
+
+    def test_sign_unknown_alias_raises(self):
+        with pytest.raises(KeystoreError):
+            SecureKeystore("p").sign("nope", b"x")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(KeystoreError):
+            SecureKeystore("p").install_key("k", b"short")
+
+    def test_wire_roundtrip(self):
+        store = SecureKeystore("phone")
+        store.generate_key("k1")
+        message = store.sign("k1", b"payload-bytes")
+        assert SignedMessage.from_wire(message.to_wire()) == message
+
+    def test_no_public_key_access(self):
+        store = SecureKeystore("phone")
+        store.generate_key("k1")
+        public = [name for name in dir(store) if not name.startswith("_")]
+        assert "keys" not in public  # TEE contract: no key extraction API
+
+
+class TestPairing:
+    def test_paired_stores_interoperate(self):
+        phone, proxy = pair("phone", "proxy")
+        message = phone.sign("fiat-pairing", b"proof")
+        assert proxy.verify(message)
+
+    def test_foreign_device_rejected(self):
+        phone, proxy = pair("phone", "proxy")
+        attacker, _ = pair("attacker-phone", "attacker-proxy")
+        message = attacker.sign("fiat-pairing", b"proof")
+        assert not proxy.verify(message)
+
+    def test_payload_digest_stable(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+class TestReplayCache:
+    def test_fresh_then_replay(self):
+        cache = ReplayCache(window_seconds=60.0)
+        assert cache.check_and_register("n1", now=0.0)
+        assert not cache.check_and_register("n1", now=10.0)
+        assert cache.n_replays_detected == 1
+
+    def test_expired_identifier_accepted_again(self):
+        cache = ReplayCache(window_seconds=60.0)
+        cache.check_and_register("n1", now=0.0)
+        assert cache.check_and_register("n1", now=120.0)
+
+    def test_eviction_bounds_memory(self):
+        cache = ReplayCache(window_seconds=1e9, max_entries=10)
+        for i in range(50):
+            cache.check_and_register(f"n{i}", now=float(i))
+        assert len(cache) <= 11
+
+    def test_clear(self):
+        cache = ReplayCache()
+        cache.check_and_register("n1", now=0.0)
+        cache.clear()
+        assert cache.check_and_register("n1", now=1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReplayCache(window_seconds=0)
+        with pytest.raises(ValueError):
+            ReplayCache(max_entries=0)

@@ -1,0 +1,94 @@
+"""Tests for the synthetic public-dataset generators (§2 corpora)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticDeviceSpec,
+    generate_corpus,
+    generate_inspector,
+    generate_moniotr_active,
+    generate_moniotr_idle,
+    generate_yourthings,
+    inspector_device_predictability,
+)
+from repro.net import FlowDefinition
+from repro.predictability import analyze_trace, max_predictable_intervals
+
+
+class TestSpec:
+    def test_random_spec_fields(self, rng):
+        spec = SyntheticDeviceSpec.random("dev", rng)
+        assert 3 <= spec.n_flows <= 12
+        assert 0.0 <= spec.unpredictable_fraction <= 0.9
+        assert spec.period_range[0] < spec.period_range[1]
+
+    def test_noise_scale_shifts_fraction(self):
+        rng = np.random.default_rng(0)
+        low = [SyntheticDeviceSpec.random("d", rng, noise_scale=0.2).unpredictable_fraction
+               for _ in range(50)]
+        rng = np.random.default_rng(0)
+        high = [SyntheticDeviceSpec.random("d", rng, noise_scale=3.0).unpredictable_fraction
+                for _ in range(50)]
+        assert np.mean(high) > np.mean(low)
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def yourthings(self):
+        return generate_yourthings(n_devices=12, duration_s=1500.0, seed=0)
+
+    def test_device_count(self, yourthings):
+        assert len(yourthings.devices()) == 12
+
+    def test_yourthings_fig1b_shape(self, yourthings):
+        report = analyze_trace(yourthings, FlowDefinition.PORTLESS)
+        fractions = np.array(report.fractions())
+        # Fig 1b: more than 80 % of traffic predictable for ~80 % of devices.
+        assert np.mean(fractions > 0.8) >= 0.6
+
+    def test_classic_below_portless(self, yourthings):
+        portless = np.mean(analyze_trace(yourthings, FlowDefinition.PORTLESS).fractions())
+        classic = np.mean(analyze_trace(yourthings, FlowDefinition.CLASSIC).fractions())
+        assert classic <= portless
+
+    def test_fig1c_interval_bounds(self, yourthings):
+        intervals = max_predictable_intervals(yourthings)
+        values = [v for v in intervals.values() if v > 0]
+        # Fig 1c: max interval is bounded by ~10 minutes.
+        assert max(values) < 1300.0
+
+    def test_deterministic(self):
+        a = generate_corpus(3, 300.0, seed=5)
+        b = generate_corpus(3, 300.0, seed=5)
+        assert a.packets == b.packets
+
+
+class TestMonIoTr:
+    def test_idle_more_predictable_than_active(self):
+        idle = generate_moniotr_idle(n_devices=8, duration_s=900.0)
+        active = generate_moniotr_active(n_devices=8, n_chunks=4)
+        idle_frac = np.mean(analyze_trace(idle).fractions())
+        active_frac = np.mean(analyze_trace(active).fractions())
+        assert idle_frac > 0.85
+        assert active_frac < idle_frac
+
+    def test_active_is_chunked(self):
+        active = generate_moniotr_active(n_devices=2, n_chunks=3, chunk_s=60.0)
+        gaps = np.diff([p.timestamp for p in active.for_device(active.devices()[0])])
+        assert gaps.max() > 1000.0  # hour-scale capture holes
+
+
+class TestInspector:
+    def test_windowed_predictability_per_device(self):
+        trace = generate_inspector(n_devices=6, duration_s=600.0)
+        result = inspector_device_predictability(trace)
+        assert set(result) == set(trace.devices())
+        assert all(0.0 <= v <= 1.0 for v in result.values())
+
+    def test_median_device_band(self):
+        # §2.2: half of Inspector devices exceed 85 % under PortLess —
+        # we assert the softer invariant that the median stays high.
+        trace = generate_inspector(n_devices=10, duration_s=900.0, seed=3)
+        values = sorted(inspector_device_predictability(trace).values())
+        assert values[len(values) // 2] > 0.5

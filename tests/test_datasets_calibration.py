@@ -1,0 +1,80 @@
+"""Calibration tests: the synthetic corpora hit their statistical targets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticDeviceSpec, generate_device_trace
+from repro.net import DnsTable, FlowDefinition, Trace, TrafficClass
+from repro.predictability import analyze_trace, label_predictable
+
+
+def _render(spec, duration=1200.0, seed=0):
+    rng = np.random.default_rng(seed)
+    dns = DnsTable()
+    packets = generate_device_trace(spec, duration, dns, "10.0.0.2", rng)
+    return Trace(packets, dns=dns)
+
+
+class TestSpecTargets:
+    def test_noise_fraction_approximates_target(self):
+        spec = SyntheticDeviceSpec(
+            name="d",
+            n_flows=6,
+            period_range=(5.0, 60.0),
+            unpredictable_fraction=0.3,
+            reconnect_s=600.0,
+        )
+        trace = _render(spec, duration=2400.0)
+        noise = sum(p.traffic_class is TrafficClass.MANUAL for p in trace)
+        assert noise / len(trace) == pytest.approx(0.3, abs=0.07)
+
+    def test_zero_noise_device_fully_predictable(self):
+        spec = SyntheticDeviceSpec(
+            name="d",
+            n_flows=4,
+            period_range=(5.0, 30.0),
+            unpredictable_fraction=0.0,
+            reconnect_s=1e9,
+        )
+        trace = _render(spec)
+        labels = label_predictable(trace)
+        assert sum(labels) / len(labels) > 0.98
+
+    def test_flow_count_respected(self):
+        spec = SyntheticDeviceSpec(
+            name="d",
+            n_flows=5,
+            period_range=(10.0, 30.0),
+            unpredictable_fraction=0.0,
+            reconnect_s=1e9,
+        )
+        trace = _render(spec)
+        from repro.net.flows import portless_key
+
+        buckets = {portless_key(p, trace.dns) for p in trace}
+        assert len(buckets) == 5
+
+    def test_reconnects_hurt_classic_only(self):
+        spec = SyntheticDeviceSpec(
+            name="d",
+            n_flows=4,
+            period_range=(20.0, 60.0),
+            unpredictable_fraction=0.0,
+            reconnect_s=120.0,  # frequent reconnects
+        )
+        trace = _render(spec, duration=1800.0)
+        portless = np.mean(label_predictable(trace, FlowDefinition.PORTLESS))
+        classic = np.mean(label_predictable(trace, FlowDefinition.CLASSIC))
+        assert portless > classic + 0.1
+
+    def test_dns_registered_for_all_endpoints(self):
+        spec = SyntheticDeviceSpec(
+            name="d",
+            n_flows=4,
+            period_range=(10.0, 30.0),
+            unpredictable_fraction=0.2,
+            reconnect_s=600.0,
+        )
+        trace = _render(spec)
+        resolved = sum(1 for p in trace if trace.dns.domain_for(p.remote_ip))
+        assert resolved == len(trace)

@@ -1,0 +1,119 @@
+"""Edge-case coverage sweep across substrates."""
+
+import numpy as np
+import pytest
+
+from repro.core import RuleTable
+from repro.ml import (
+    LinearSVC,
+    MLPClassifier,
+    SimpleRNNClassifier,
+    balanced_accuracy_score,
+    classification_report,
+)
+from repro.net import Direction, DnsTable, FlowDefinition, Trace
+from repro.predictability import BucketPredictor, analyze_trace, windowed_predictability
+from repro.quic.transport import NetworkPath
+from tests.conftest import make_packet
+
+
+class TestSingleClassModels:
+    """Degenerate single-class training must not crash inference."""
+
+    def test_linear_svc_single_class(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.zeros(10, dtype=int)
+        model = LinearSVC(n_epochs=2).fit(X, y)
+        assert list(model.predict(X)) == [0] * 10
+
+    def test_mlp_single_class(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.array(["only"] * 10)
+        model = MLPClassifier(hidden_layer_sizes=(4,), n_epochs=10).fit(X, y)
+        assert set(model.predict(X)) == {"only"}
+
+    def test_rnn_single_class(self):
+        X = np.random.default_rng(0).normal(size=(6, 4, 2))
+        y = np.zeros(6, dtype=int)
+        model = SimpleRNNClassifier(hidden_size=4, n_epochs=10).fit(X, y)
+        assert set(model.predict(X)) == {0}
+
+
+class TestMetricsEdges:
+    def test_report_with_predicted_only_label(self):
+        # label 2 never appears in y_true: support 0, excluded from macro
+        report = classification_report([0, 1], [0, 2])
+        assert report[2]["support"] == 0.0
+        assert 0.0 <= report["macro avg"]["f1"] <= 1.0
+
+    def test_balanced_accuracy_single_class(self):
+        assert balanced_accuracy_score([1, 1, 1], [1, 1, 0]) == pytest.approx(2 / 3)
+
+
+class TestPredictabilityEdges:
+    def test_single_packet_trace(self):
+        trace = Trace([make_packet()])
+        report = analyze_trace(trace)
+        assert report.fraction_for("dev") == 0.0
+        assert windowed_predictability(trace) == 0.0
+
+    def test_two_packet_trace_never_predictable(self):
+        trace = Trace([make_packet(timestamp=0.0), make_packet(timestamp=5.0)])
+        from repro.predictability import label_predictable
+
+        assert label_predictable(trace) == [False, False]
+
+    def test_predictor_handles_backwards_time(self):
+        predictor = BucketPredictor()
+        predictor.observe(make_packet(timestamp=100.0))
+        # out-of-order arrival: negative IAT clamps to bin 0, no crash
+        predictor.observe(make_packet(timestamp=50.0))
+        assert predictor.n_buckets == 1
+
+
+class TestRuleTableEdges:
+    def test_empty_table_from_empty_predictor(self):
+        table = RuleTable.from_predictor(BucketPredictor())
+        assert len(table) == 0
+        assert not table.matches(make_packet())
+        assert table.hit_rate == 0.0
+
+    def test_expire_on_empty_table(self):
+        table = RuleTable(FlowDefinition.PORTLESS, None, resolution=0.25)
+        assert table.expire_stale(now=1000.0, ttl_s=10.0) == 0
+
+
+class TestDnsEdges:
+    def test_empty_table_everything_none(self):
+        dns = DnsTable()
+        assert dns.domain_for("1.2.3.4") is None
+        assert dns.ips_for("x.com") == ()
+        assert len(dns) == 0
+
+    def test_canonicalize_unknown_domain_identity(self):
+        assert DnsTable().canonicalize("anything.com") == "anything.com"
+
+
+class TestTransportEdges:
+    def test_zero_jitter_path_deterministic_scale(self):
+        path = NetworkPath("flat", base_rtt_ms=100.0, jitter_sigma=1e-9)
+        rng = np.random.default_rng(0)
+        samples = [path.sample_rtt(rng) for _ in range(10)]
+        assert all(abs(s - 100.0) < 0.1 for s in samples)
+
+
+class TestTraceEdges:
+    def test_merge_with_empty(self):
+        trace = Trace([make_packet()])
+        merged = trace.merge(Trace([]))
+        assert len(merged) == 1
+
+    def test_between_empty_window(self):
+        trace = Trace([make_packet(timestamp=5.0)])
+        assert len(trace.between(10.0, 20.0)) == 0
+
+    def test_direction_inbound_device_metadata(self):
+        packet = make_packet(
+            direction=Direction.INBOUND, src_ip="1.2.3.4", dst_ip="192.168.1.10"
+        )
+        assert packet.device_ip == "192.168.1.10"

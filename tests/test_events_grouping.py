@@ -1,0 +1,91 @@
+"""Unit tests for unpredictable-event grouping (§3.2)."""
+
+import pytest
+
+from repro.events import UnpredictableEvent, group_events
+from repro.net import Trace, TrafficClass
+from tests.conftest import make_packet
+
+
+def _trace_and_mask(times_by_device):
+    packets = []
+    for device, times in times_by_device.items():
+        packets.extend(make_packet(timestamp=t, device=device) for t in times)
+    trace = Trace(packets)
+    return trace, [False] * len(trace)
+
+
+class TestGapRule:
+    def test_packets_within_gap_merge(self):
+        trace, mask = _trace_and_mask({"d": [0.0, 1.0, 4.0]})
+        events = group_events(trace, mask, gap=5.0)
+        assert len(events) == 1
+        assert len(events[0]) == 3
+
+    def test_gap_splits_events(self):
+        trace, mask = _trace_and_mask({"d": [0.0, 1.0, 10.0, 11.0]})
+        events = group_events(trace, mask, gap=5.0)
+        assert [len(e) for e in events] == [2, 2]
+
+    def test_boundary_gap_inclusive(self):
+        trace, mask = _trace_and_mask({"d": [0.0, 5.0]})
+        assert len(group_events(trace, mask, gap=5.0)) == 1
+        trace, mask = _trace_and_mask({"d": [0.0, 5.01]})
+        assert len(group_events(trace, mask, gap=5.0)) == 2
+
+    def test_predictable_packets_skipped(self):
+        trace = Trace([make_packet(timestamp=float(t), device="d") for t in range(4)])
+        events = group_events(trace, [False, True, True, False], gap=5.0)
+        assert len(events) == 1
+        assert len(events[0]) == 2
+
+    def test_per_device_streams_independent(self):
+        trace, mask = _trace_and_mask({"a": [0.0, 1.0], "b": [0.5, 1.5]})
+        events = group_events(trace, mask, gap=5.0)
+        assert len(events) == 2
+        assert {e.device for e in events} == {"a", "b"}
+
+    def test_global_stream_when_disabled(self):
+        trace, mask = _trace_and_mask({"a": [0.0], "b": [1.0]})
+        events = group_events(trace, mask, gap=5.0, per_device=False)
+        assert len(events) == 1
+
+
+class TestEventProperties:
+    def test_duration_and_bytes(self):
+        event = UnpredictableEvent(
+            packets=[make_packet(timestamp=0.0, size=100), make_packet(timestamp=2.0, size=50)]
+        )
+        assert event.duration == 2.0
+        assert event.total_bytes == 150
+
+    def test_majority_class(self):
+        event = UnpredictableEvent(
+            packets=[
+                make_packet(traffic_class=TrafficClass.CONTROL),
+                make_packet(traffic_class=TrafficClass.MANUAL),
+                make_packet(traffic_class=TrafficClass.MANUAL),
+            ]
+        )
+        assert event.majority_class() is TrafficClass.MANUAL
+        assert event.is_manual
+
+    def test_tie_breaks_towards_manual(self):
+        event = UnpredictableEvent(
+            packets=[
+                make_packet(traffic_class=TrafficClass.CONTROL),
+                make_packet(traffic_class=TrafficClass.MANUAL),
+            ]
+        )
+        assert event.majority_class() is TrafficClass.MANUAL
+
+    def test_attack_counts_as_manual(self):
+        event = UnpredictableEvent(packets=[make_packet(traffic_class=TrafficClass.ATTACK)])
+        assert event.is_manual
+
+    def test_first_n(self):
+        event = UnpredictableEvent(
+            packets=[make_packet(timestamp=float(i)) for i in range(10)]
+        )
+        assert len(event.first_n(5)) == 5
+        assert len(event.first_n(20)) == 10

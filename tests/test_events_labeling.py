@@ -1,0 +1,82 @@
+"""Unit tests for ground-truth labelling from interaction logs."""
+
+import pytest
+
+from repro.events import GroundTruthLog, InteractionWindow, RoutineFiring, label_trace
+from repro.net import Trace, TrafficClass
+from tests.conftest import make_packet
+
+
+class TestWindows:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionWindow(device="d", start=10.0, end=5.0)
+
+    def test_covers_with_slack(self):
+        window = InteractionWindow(device="d", start=10.0, end=20.0)
+        assert window.covers(15.0)
+        assert not window.covers(21.0)
+        assert window.covers(21.0, slack=2.0)
+
+    def test_routine_covers(self):
+        firing = RoutineFiring(device="d", timestamp=100.0, duration=10.0)
+        assert firing.covers(105.0)
+        assert not firing.covers(111.0)
+        assert firing.covers(111.0, slack=2.0)
+
+
+class TestClassification:
+    def test_precedence_manual_over_automated(self):
+        log = GroundTruthLog(
+            interactions=[InteractionWindow("d", 0.0, 10.0)],
+            routines=[RoutineFiring("d", 5.0)],
+        )
+        assert log.classify("d", 5.0) is TrafficClass.MANUAL
+
+    def test_routine_labelled_automated(self):
+        log = GroundTruthLog(routines=[RoutineFiring("d", 100.0)])
+        assert log.classify("d", 105.0) is TrafficClass.AUTOMATED
+
+    def test_default_control(self):
+        assert GroundTruthLog().classify("d", 0.0) is TrafficClass.CONTROL
+
+    def test_device_scoped(self):
+        log = GroundTruthLog(interactions=[InteractionWindow("a", 0.0, 10.0)])
+        assert log.classify("b", 5.0) is TrafficClass.CONTROL
+
+    def test_add_keeps_sorted(self):
+        log = GroundTruthLog()
+        log.add_interaction(InteractionWindow("d", 50.0, 60.0))
+        log.add_interaction(InteractionWindow("d", 0.0, 10.0))
+        assert log.interactions[0].start == 0.0
+        log.add_routine(RoutineFiring("d", 99.0))
+        log.add_routine(RoutineFiring("d", 1.0))
+        assert log.routines[0].timestamp == 1.0
+
+
+class TestLabelTrace:
+    def test_relabels_by_overlap(self):
+        trace = Trace(
+            [
+                make_packet(timestamp=5.0, device="d"),
+                make_packet(timestamp=50.0, device="d"),
+                make_packet(timestamp=105.0, device="d"),
+            ]
+        )
+        log = GroundTruthLog(
+            interactions=[InteractionWindow("d", 0.0, 10.0)],
+            routines=[RoutineFiring("d", 100.0)],
+        )
+        labelled = label_trace(trace, log, slack=0.0)
+        classes = [p.traffic_class for p in labelled]
+        assert classes == [TrafficClass.MANUAL, TrafficClass.CONTROL, TrafficClass.AUTOMATED]
+
+    def test_simulated_labels_recoverable(self, small_household_result):
+        """The log produced by the simulator must reconstruct most labels."""
+        result = small_household_result
+        relabelled = label_trace(result.trace, result.log, slack=2.0)
+        agree = sum(
+            a.traffic_class == b.traffic_class
+            for a, b in zip(result.trace, relabelled)
+        )
+        assert agree / len(result.trace) > 0.9

@@ -1,0 +1,139 @@
+"""Failure-injection tests: the system must degrade safely, not crash."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FiatConfig,
+    FiatProxy,
+    HumanValidationService,
+    train_event_classifier,
+)
+from repro.crypto import ReplayCache, pair
+from repro.net import Direction, Packet, Trace, TrafficClass
+from repro.predictability import label_predictable
+from repro.sensors import HumannessValidator
+from repro.testbed import profile_for
+from tests.conftest import make_packet
+
+
+def _proxy(bootstrap_s=0.0, lockout_threshold=3):
+    _, proxy_ks = pair("phone", "proxy")
+    return FiatProxy(
+        config=FiatConfig(bootstrap_s=bootstrap_s, lockout_threshold=lockout_threshold),
+        dns=None,
+        classifiers={"SP10": train_event_classifier(profile_for("SP10"))},
+        validation=HumanValidationService(
+            proxy_ks, validator=HumannessValidator(n_train_per_class=60, seed=0).fit()
+        ),
+        app_for_device={},
+    )
+
+
+class TestMalformedInput:
+    def test_garbage_auth_message(self):
+        proxy = _proxy()
+        proxy.receive_auth(b"\x00\xffgarbage", now=0.0)
+        proxy.receive_auth(b"", now=1.0)
+        proxy.receive_auth(b'{"payload": "zz"}', now=2.0)
+        assert proxy.validation.n_rejected_channel == 3
+
+    def test_truncated_json_auth(self):
+        proxy = _proxy()
+        proxy.receive_auth(b'{"payload": "00", "signature"', now=0.0)
+        assert proxy.validation.n_rejected_channel == 1
+
+    def test_empty_trace_flush(self):
+        proxy = _proxy()
+        proxy.flush()  # must not raise
+        assert proxy.decisions == []
+
+
+class TestTimingAnomalies:
+    def test_identical_timestamps(self):
+        packets = [make_packet(timestamp=5.0) for _ in range(10)]
+        labels = label_predictable(Trace(packets))
+        assert len(labels) == 10  # zero IATs handled (bin 0 repeats)
+
+    def test_out_of_order_packets_to_proxy(self):
+        """A slightly reordered feed must not crash the proxy."""
+        proxy = _proxy()
+        times = [10.0, 10.4, 10.2, 10.9, 10.7]
+        for t in times:
+            proxy.process(
+                make_packet(timestamp=t, device="SP10", size=int(200 + t * 10))
+            )
+        proxy.flush()
+        assert len(proxy.decisions) >= 1
+
+    def test_event_spanning_bootstrap_boundary(self):
+        proxy = _proxy(bootstrap_s=10.0)
+        # packets at 9.9 (bootstrap) and 10.1 (enforcement)
+        assert proxy.process(make_packet(timestamp=9.9, device="SP10", size=235))
+        proxy.process(make_packet(timestamp=10.1, device="SP10", size=180))
+        proxy.flush()
+        # enforcement-side packet starts a fresh event; no crash, a decision exists
+        assert len(proxy.decisions) == 1
+
+
+class TestResourceExhaustion:
+    def test_replay_cache_flood(self):
+        cache = ReplayCache(window_seconds=1e9, max_entries=100)
+        for i in range(10_000):
+            cache.check_and_register(f"nonce-{i}", now=float(i))
+        assert len(cache) <= 101
+
+    def test_many_devices_many_events(self):
+        proxy = _proxy()
+        rng = np.random.default_rng(0)
+        t = 0.0
+        for i in range(300):
+            device = f"ghost-{i % 20}"
+            proxy.process(
+                make_packet(
+                    timestamp=t, device=device, size=int(rng.integers(100, 1400))
+                )
+            )
+            t += 7.0
+        proxy.flush()
+        # unknown devices fail open but are all logged
+        assert len(proxy.decisions) == 300
+
+
+class TestAdversarialEdgeCases:
+    def test_attacker_mimics_rule_size_still_needs_human(self):
+        """Knowing the 235 B signature does not help without a proof."""
+        proxy = _proxy()
+        allowed = proxy.process(make_packet(timestamp=0.0, device="SP10", size=235))
+        proxy.flush()
+        assert not allowed
+
+    def test_lockout_not_triggered_by_benign_traffic(self):
+        proxy = _proxy()
+        for i in range(10):
+            proxy.process(
+                make_packet(timestamp=float(i * 30), device="SP10", size=150 + i)
+            )
+        proxy.flush()
+        assert not proxy.is_locked("SP10")
+
+    def test_lockout_threshold_respected(self):
+        proxy = _proxy(lockout_threshold=2)
+        for i in range(2):
+            proxy.process(make_packet(timestamp=float(i * 30), device="SP10", size=235))
+        assert proxy.is_locked("SP10")
+
+    def test_violations_outside_window_forgotten(self):
+        proxy = _proxy(lockout_threshold=3)
+        # three violations, but spread far beyond the lockout window
+        for i in range(3):
+            proxy.process(
+                make_packet(timestamp=float(i * 1000), device="SP10", size=235)
+            )
+        assert not proxy.is_locked("SP10")
+
+    def test_zero_size_packets(self):
+        proxy = _proxy()
+        proxy.process(make_packet(timestamp=0.0, device="SP10", size=0))
+        proxy.flush()
+        assert len(proxy.decisions) == 1

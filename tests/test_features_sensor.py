@@ -1,0 +1,72 @@
+"""Unit tests for the 48 motion-sensor features (§5.4 / zkSENSE)."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    AXIS_STATS,
+    N_SENSOR_FEATURES,
+    SENSOR_AXES,
+    SENSOR_FEATURE_NAMES,
+    axis_statistics,
+    sensor_features,
+    windows_to_matrix,
+)
+from repro.sensors import MotionKind, synthesize_window
+
+
+class TestLayout:
+    def test_exactly_48(self):
+        assert N_SENSOR_FEATURES == 48
+        assert len(SENSOR_FEATURE_NAMES) == 48
+        assert len(SENSOR_AXES) * len(AXIS_STATS) == 48
+
+    def test_feature_vector_shape(self, rng):
+        window = synthesize_window(MotionKind.HUMAN, rng=rng)
+        assert sensor_features(window).shape == (48,)
+
+    def test_bad_window_shape_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_features(np.zeros((10, 3)))
+
+
+class TestAxisStatistics:
+    def test_constant_signal(self):
+        stats = axis_statistics(np.full(100, 5.0))
+        named = dict(zip(AXIS_STATS, stats))
+        assert named["mean"] == 5.0
+        assert named["std"] == 0.0
+        assert named["range"] == 0.0
+        assert named["mad"] == 0.0
+        assert named["peaks"] == 0.0
+
+    def test_empty_signal(self):
+        assert axis_statistics(np.array([])) == [0.0] * 8
+
+    def test_peak_counting(self):
+        signal = np.zeros(50)
+        signal[10] = 10.0
+        signal[30] = 12.0
+        named = dict(zip(AXIS_STATS, axis_statistics(signal)))
+        assert named["peaks"] == 2.0
+
+    def test_rms(self):
+        named = dict(zip(AXIS_STATS, axis_statistics(np.array([3.0, -3.0, 3.0, -3.0]))))
+        assert named["rms"] == pytest.approx(3.0)
+
+
+class TestDiscriminativePower:
+    def test_human_windows_more_energetic(self, rng):
+        human = sensor_features(synthesize_window(MotionKind.HUMAN, rng=rng))
+        still = sensor_features(synthesize_window(MotionKind.NON_HUMAN, rng=rng))
+        names = list(SENSOR_FEATURE_NAMES)
+        # Gyroscope should be basically silent on a still phone.
+        gyro_range = names.index("gyro-x-range")
+        assert human[gyro_range] > still[gyro_range]
+
+    def test_matrix_stacking(self, rng):
+        windows = [synthesize_window(MotionKind.HUMAN, rng=rng) for _ in range(3)]
+        assert windows_to_matrix(windows).shape == (3, 48)
+
+    def test_empty_matrix(self):
+        assert windows_to_matrix([]).shape == (0, 48)

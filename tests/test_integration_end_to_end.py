@@ -1,0 +1,100 @@
+"""End-to-end integration: FIAT over a live household trace with bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FiatConfig,
+    FiatProxy,
+    HumanValidationService,
+    train_event_classifier,
+)
+from repro.crypto import pair
+from repro.net import TrafficClass
+from repro.sensors import HumannessValidator
+from repro.testbed import (
+    APP_PACKAGES,
+    Household,
+    HouseholdConfig,
+    TESTBED,
+    generate_labeled_events,
+    profile_for,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """A household simulated for 50 minutes with a 20-minute bootstrap."""
+    config = HouseholdConfig(duration_s=3000.0, seed=13)
+    result = Household(["EchoDot4", "SP10"], config).simulate()
+
+    _, proxy_ks = pair("phone", "proxy")
+    classifiers = {}
+    for name in ("EchoDot4", "SP10"):
+        profile = profile_for(name)
+        training = None
+        if not profile.uses_simple_rules:
+            training = generate_labeled_events(
+                profile, n_manual=60, n_automated=100, n_control=100, seed=99,
+                cloud=result.cloud,
+            )
+        classifiers[name] = train_event_classifier(profile, training)
+    proxy = FiatProxy(
+        config=FiatConfig(bootstrap_s=1200.0),
+        dns=result.cloud.dns,
+        classifiers=classifiers,
+        validation=HumanValidationService(
+            proxy_ks, validator=HumannessValidator(n_train_per_class=100, seed=0).fit()
+        ),
+        app_for_device=dict(APP_PACKAGES),
+    )
+    outcomes = [(p, proxy.process(p)) for p in result.trace]
+    proxy.flush()
+    return result, proxy, outcomes
+
+
+class TestBootstrapPhase:
+    def test_everything_allowed_during_bootstrap(self, deployment):
+        _, _, outcomes = deployment
+        assert all(allowed for p, allowed in outcomes if p.timestamp < 1200.0)
+
+    def test_rules_frozen_after_bootstrap(self, deployment):
+        _, proxy, _ = deployment
+        assert proxy.rules is not None
+        assert len(proxy.rules) > 5
+
+
+class TestEnforcementPhase:
+    def test_control_traffic_mostly_allowed(self, deployment):
+        _, _, outcomes = deployment
+        post = [
+            allowed
+            for p, allowed in outcomes
+            if p.timestamp >= 1200.0 and p.traffic_class is TrafficClass.CONTROL
+        ]
+        assert np.mean(post) > 0.95
+
+    def test_manual_traffic_without_proofs_blocked(self, deployment):
+        """No FIAT app ran in this deployment: manual tails must drop."""
+        _, proxy, _ = deployment
+        manual_decisions = [
+            d for d in proxy.decisions if d.truth == "manual" and d.predicted_manual
+        ]
+        assert manual_decisions, "some manual events must be classified"
+        assert all(d.blocked for d in manual_decisions)
+
+    def test_alerts_raised_for_unverified_manual(self, deployment):
+        _, proxy, _ = deployment
+        assert any("unverified" in a.reason for a in proxy.alerts)
+
+    def test_automated_events_pass(self, deployment):
+        _, proxy, _ = deployment
+        automated = [d for d in proxy.decisions if d.truth == "automated"]
+        if automated:
+            allowed = sum(not d.blocked for d in automated)
+            assert allowed / len(automated) > 0.7
+
+    def test_decision_log_covers_both_devices(self, deployment):
+        _, proxy, _ = deployment
+        devices = {d.device for d in proxy.decisions}
+        assert "EchoDot4" in devices

@@ -1,0 +1,68 @@
+"""Unit tests for the estimator foundations."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BernoulliNB,
+    KNeighborsClassifier,
+    NearestCentroidClassifier,
+    check_X,
+    check_Xy,
+    clone,
+)
+
+
+class TestValidation:
+    def test_check_x_promotes_1d(self):
+        assert check_X([1.0, 2.0]).shape == (1, 2)
+
+    def test_check_x_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X([[1.0, float("nan")]])
+
+    def test_check_x_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_X(np.empty((0, 3)))
+
+    def test_check_xy_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_Xy([[1.0], [2.0]], [0])
+
+    def test_check_xy_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_Xy([[1.0]], [[0]])
+
+
+class TestParamsAndClone:
+    def test_get_params(self):
+        est = NearestCentroidClassifier(metric="manhattan")
+        assert est.get_params() == {"metric": "manhattan"}
+
+    def test_set_params(self):
+        est = KNeighborsClassifier()
+        est.set_params(n_neighbors=9)
+        assert est.n_neighbors == 9
+
+    def test_set_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            KNeighborsClassifier().set_params(bogus=1)
+
+    def test_clone_is_unfitted(self):
+        est = BernoulliNB(alpha=0.5)
+        est.fit([[0.0], [1.0]], [0, 1])
+        fresh = clone(est)
+        assert fresh.alpha == 0.5
+        assert fresh.feature_log_prob_ is None
+
+    def test_repr_contains_params(self):
+        assert "alpha=2.0" in repr(BernoulliNB(alpha=2.0))
+
+
+class TestScore:
+    def test_score_is_accuracy(self):
+        est = NearestCentroidClassifier(metric="euclidean")
+        X = np.array([[0.0], [0.1], [10.0], [10.1]])
+        y = np.array([0, 0, 1, 1])
+        est.fit(X, y)
+        assert est.score(X, y) == 1.0

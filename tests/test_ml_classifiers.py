@@ -1,0 +1,94 @@
+"""Behavioural tests shared across all nine Table-2 classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    BernoulliNB,
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearSVC,
+    MLPClassifier,
+    NearestCentroidClassifier,
+    RandomForestClassifier,
+)
+
+ALL_MODELS = [
+    pytest.param(lambda: NearestCentroidClassifier("euclidean"), id="ncc-euclidean"),
+    pytest.param(lambda: NearestCentroidClassifier("manhattan"), id="ncc-manhattan"),
+    pytest.param(lambda: NearestCentroidClassifier("chebyshev"), id="ncc-chebyshev"),
+    pytest.param(lambda: KNeighborsClassifier(n_neighbors=3), id="knn"),
+    pytest.param(lambda: BernoulliNB(), id="bernoulli-nb"),
+    pytest.param(lambda: GaussianNB(), id="gaussian-nb"),
+    pytest.param(lambda: DecisionTreeClassifier(max_depth=4), id="decision-tree"),
+    pytest.param(lambda: RandomForestClassifier(n_estimators=15, seed=0), id="random-forest"),
+    pytest.param(lambda: AdaBoostClassifier(n_estimators=15, seed=0), id="adaboost"),
+    pytest.param(lambda: LinearSVC(n_epochs=20, seed=0), id="linear-svc"),
+    pytest.param(
+        lambda: MLPClassifier(hidden_layer_sizes=(16,), n_epochs=120, seed=0), id="mlp"
+    ),
+]
+
+
+def _blobs(n=40, centers=((-2.0, -2.0), (2.0, 2.0)), seed=0):
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for label, center in enumerate(centers):
+        X.append(rng.normal(loc=center, scale=0.6, size=(n, len(center))))
+        y.extend([label] * n)
+    return np.vstack(X), np.asarray(y)
+
+
+@pytest.mark.parametrize("make_model", ALL_MODELS)
+class TestAllClassifiers:
+    def test_fit_predict_separable(self, make_model):
+        X, y = _blobs()
+        model = make_model().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_generalises_to_fresh_samples(self, make_model):
+        X, y = _blobs(seed=0)
+        X_test, y_test = _blobs(seed=99)
+        model = make_model().fit(X, y)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_three_classes(self, make_model):
+        # Centers chosen so the default binarisation threshold (0) still
+        # separates all three classes for BernoulliNB.
+        X, y = _blobs(centers=((-3, -3), (3, -3), (-3, 3)))
+        model = make_model().fit(X, y)
+        assert model.score(X, y) > 0.85
+        assert set(model.predict(X)) <= {0, 1, 2}
+
+    def test_string_labels(self, make_model):
+        X, y = _blobs()
+        labels = np.where(y == 0, "cat", "dog")
+        model = make_model().fit(X, labels)
+        assert set(model.predict(X)) <= {"cat", "dog"}
+
+    def test_predict_before_fit_raises(self, make_model):
+        with pytest.raises(RuntimeError):
+            make_model().predict([[0.0, 0.0]])
+
+
+@pytest.mark.parametrize(
+    "make_model",
+    [p for p in ALL_MODELS if p.id not in ("linear-svc",)],
+)
+class TestProbabilities:
+    def test_predict_proba_rows_sum_to_one(self, make_model):
+        X, y = _blobs()
+        model = make_model().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0.0)
+
+    def test_argmax_matches_predict(self, make_model):
+        X, y = _blobs()
+        model = make_model().fit(X, y)
+        proba = model.predict_proba(X)
+        hard = model.predict(X)
+        assert np.mean(model.classes_[np.argmax(proba, axis=1)] == hard) > 0.95

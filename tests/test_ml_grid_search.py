@@ -1,0 +1,77 @@
+"""Unit tests for the grid-search helper (§4.1's hyperparameter protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, KNeighborsClassifier, grid_search
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(loc=-2.0, size=(40, 3)), rng.normal(loc=2.0, size=(40, 3))]
+    )
+    y = np.array([0] * 40 + [1] * 40)
+    return X, y
+
+
+class TestGridSearch:
+    def test_finds_best_combination(self):
+        X, y = _blobs()
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 3, 6]},
+            X,
+            y,
+            n_splits=3,
+        )
+        assert result["best_params"]["max_depth"] in (1, 3, 6)
+        assert 0.8 < result["best_score"] <= 1.0
+        assert len(result["results"]) == 3
+
+    def test_cartesian_product(self):
+        X, y = _blobs()
+        result = grid_search(
+            lambda n_neighbors, metric: KNeighborsClassifier(
+                n_neighbors=n_neighbors, metric=metric
+            ),
+            {"n_neighbors": [1, 3], "metric": ["euclidean", "manhattan"]},
+            X,
+            y,
+            n_splits=3,
+        )
+        assert len(result["results"]) == 4
+
+    def test_best_score_is_max(self):
+        X, y = _blobs()
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 2, 4]},
+            X,
+            y,
+            n_splits=3,
+        )
+        assert result["best_score"] == pytest.approx(
+            max(score for _, score in result["results"])
+        )
+
+    def test_empty_grid_rejected(self):
+        X, y = _blobs()
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, {}, X, y)
+        with pytest.raises(ValueError):
+            grid_search(lambda max_depth: None, {"max_depth": []}, X, y)
+
+    def test_deterministic(self):
+        X, y = _blobs()
+        kwargs = dict(n_splits=3, seed=5)
+        a = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth, seed=0),
+            {"max_depth": [2, 4]}, X, y, **kwargs,
+        )
+        b = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth, seed=0),
+            {"max_depth": [2, 4]}, X, y, **kwargs,
+        )
+        assert a["best_params"] == b["best_params"]
+        assert a["results"] == b["results"]

@@ -1,0 +1,92 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+)
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert list(labels) == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_explicit_labels_order(self):
+        matrix, labels = confusion_matrix([0, 1], [0, 1], labels=[1, 0])
+        assert list(labels) == [1, 0]
+        assert matrix.tolist() == [[1, 0], [0, 1]]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 2], [1])
+
+    def test_rows_sum_to_supports(self):
+        y_true = [0, 0, 1, 1, 2]
+        y_pred = [0, 1, 1, 2, 2]
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        assert matrix.sum() == 5
+        assert matrix[0].sum() == 2
+
+
+class TestAccuracies:
+    def test_accuracy(self):
+        assert accuracy_score([1, 1, 0], [1, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_balanced_accuracy_weights_classes(self):
+        # 9/10 correct on majority, 0/1 on minority -> plain acc 0.9
+        # but balanced 0.45.
+        y_true = [0] * 10 + [1]
+        y_pred = [0] * 9 + [1] + [0]
+        assert accuracy_score(y_true, y_pred) == pytest.approx(9 / 11 + 0, abs=0.1)
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.45)
+
+    def test_balanced_ignores_absent_classes(self):
+        assert balanced_accuracy_score([0, 0], [0, 1]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert accuracy_score([], []) == 0.0
+        assert balanced_accuracy_score([], []) == 0.0
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f = precision_recall_f1([1, 0], [1, 0], positive=1)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        # tp=2 fp=1 fn=1
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        p, r, f = precision_recall_f1(y_true, y_pred, positive=1)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f == pytest.approx(2 / 3)
+
+    def test_zero_denominators(self):
+        p, r, f = precision_recall_f1([0, 0], [0, 0], positive=1)
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_f1_harmonic(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 0, 0]  # p=1, r=0.5
+        assert f1_score(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+
+
+class TestReport:
+    def test_report_structure(self):
+        report = classification_report(["a", "b", "b"], ["a", "b", "a"])
+        assert set(report) == {"a", "b", "macro avg"}
+        assert report["a"]["support"] == 1.0
+        assert 0.0 <= report["macro avg"]["f1"] <= 1.0
+
+    def test_macro_average_correct(self):
+        report = classification_report([0, 1], [0, 1])
+        assert report["macro avg"]["precision"] == 1.0

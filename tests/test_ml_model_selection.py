@@ -1,0 +1,104 @@
+"""Unit tests for splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BernoulliNB,
+    NearestCentroidClassifier,
+    StratifiedKFold,
+    cross_val_score,
+    cross_validate,
+    train_test_split,
+)
+
+
+def _toy(n_per_class=30, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=0.0, size=(n_per_class, 3))
+    X1 = rng.normal(loc=3.0, size=(n_per_class, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    return X, y
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_everything(self):
+        X, y = _toy()
+        seen = []
+        for train, test in StratifiedKFold(n_splits=5).split(X, y):
+            seen.extend(test.tolist())
+            assert set(train) & set(test) == set()
+        assert sorted(seen) == list(range(len(y)))
+
+    def test_stratification(self):
+        X, y = _toy(n_per_class=25)
+        for _, test in StratifiedKFold(n_splits=5).split(X, y):
+            # each fold gets 5 of each class
+            assert np.sum(y[test] == 0) == 5
+            assert np.sum(y[test] == 1) == 5
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=1)
+
+    def test_deterministic_with_seed(self):
+        X, y = _toy()
+        a = [t.tolist() for _, t in StratifiedKFold(seed=3).split(X, y)]
+        b = [t.tolist() for _, t in StratifiedKFold(seed=3).split(X, y)]
+        assert a == b
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = _toy(n_per_class=20)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, seed=0)
+        assert len(X_te) == 10  # 25% of 40, stratified 5+5
+        assert len(X_tr) + len(X_te) == 40
+
+    def test_stratified_class_balance(self):
+        X, y = _toy(n_per_class=20)
+        _, _, _, y_te = train_test_split(X, y, test_size=0.5, seed=0)
+        assert np.sum(y_te == 0) == np.sum(y_te == 1)
+
+    def test_invalid_test_size(self):
+        X, y = _toy()
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestCrossValidate:
+    def test_separable_data_scores_high(self):
+        X, y = _toy()
+        result = cross_validate(NearestCentroidClassifier("euclidean"), X, y, n_splits=5)
+        assert result["mean"] > 0.95
+        assert len(result["scores"]) == 5
+
+    def test_scoring_strings(self):
+        X, y = _toy()
+        for scoring in ("accuracy", "balanced_accuracy", "f1:1"):
+            result = cross_validate(BernoulliNB(), X, y, n_splits=3, scoring=scoring)
+            assert 0.0 <= result["mean"] <= 1.0
+
+    def test_callable_scoring(self):
+        X, y = _toy()
+        result = cross_validate(
+            BernoulliNB(), X, y, n_splits=3, scoring=lambda est, X_, y_: 0.42
+        )
+        assert result["mean"] == pytest.approx(0.42)
+
+    def test_unknown_scoring_rejected(self):
+        X, y = _toy()
+        with pytest.raises(ValueError, match="unknown scoring"):
+            cross_validate(BernoulliNB(), X, y, scoring="roc_auc")
+
+    def test_cross_val_score_returns_list(self):
+        X, y = _toy()
+        scores = cross_val_score(BernoulliNB(), X, y, n_splits=4)
+        assert len(scores) == 4
+
+    def test_estimator_not_mutated(self):
+        X, y = _toy()
+        est = BernoulliNB()
+        cross_validate(est, X, y, n_splits=3)
+        assert est.feature_log_prob_ is None  # original stays unfitted

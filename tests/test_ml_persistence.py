@@ -1,0 +1,103 @@
+"""Unit tests for model persistence (the §7 model-download format)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BernoulliNB,
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    NearestCentroidClassifier,
+    StandardScaler,
+)
+from repro.ml.persistence import MODEL_FORMAT_VERSION, load_model, save_model
+
+
+def _data(seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(-2, 1, (40, 4)), rng.normal(2, 1, (40, 4))])
+    y = np.array(["a"] * 40 + ["b"] * 40)
+    return X, y
+
+
+SUPPORTED = [
+    pytest.param(lambda: BernoulliNB(alpha=0.7), id="bernoulli-nb"),
+    pytest.param(lambda: NearestCentroidClassifier("manhattan"), id="nearest-centroid"),
+    pytest.param(lambda: DecisionTreeClassifier(max_depth=4, seed=0), id="decision-tree"),
+]
+
+
+@pytest.mark.parametrize("make_model", SUPPORTED)
+class TestRoundtrip:
+    def test_predictions_identical(self, make_model):
+        X, y = _data()
+        model = make_model().fit(X, y)
+        restored, _, _ = load_model(save_model(model))
+        assert np.array_equal(model.predict(X), restored.predict(X))
+
+    def test_params_preserved(self, make_model):
+        X, y = _data()
+        model = make_model().fit(X, y)
+        restored, _, _ = load_model(save_model(model))
+        assert restored.get_params() == model.get_params()
+
+    def test_unfitted_rejected(self, make_model):
+        with pytest.raises((ValueError, RuntimeError)):
+            save_model(make_model())
+
+
+class TestScalerAndMetadata:
+    def test_scaler_roundtrip(self):
+        X, y = _data()
+        scaler = StandardScaler().fit(X)
+        model = BernoulliNB().fit(scaler.transform(X), y)
+        document = save_model(model, scaler, metadata={"device": "EchoDot4", "fw": "1.2"})
+        restored, restored_scaler, metadata = load_model(document)
+        assert metadata == {"device": "EchoDot4", "fw": "1.2"}
+        assert np.allclose(restored_scaler.transform(X), scaler.transform(X))
+        assert np.array_equal(
+            restored.predict(restored_scaler.transform(X)),
+            model.predict(scaler.transform(X)),
+        )
+
+    def test_document_is_plain_json(self):
+        X, y = _data()
+        model = NearestCentroidClassifier().fit(X, y)
+        data = json.loads(save_model(model))
+        assert data["fiat-model-version"] == MODEL_FORMAT_VERSION
+        assert data["estimator"]["type"] == "nearest-centroid"
+
+    def test_version_mismatch_rejected(self):
+        X, y = _data()
+        model = BernoulliNB().fit(X, y)
+        document = save_model(model).replace(
+            f'"fiat-model-version": {MODEL_FORMAT_VERSION}', '"fiat-model-version": 99'
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_model(document)
+
+    def test_unsupported_model_rejected(self):
+        X, y = _data()
+        model = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(TypeError, match="unsupported"):
+            save_model(model)
+
+
+class TestDeployedClassifier:
+    def test_event_classifier_model_roundtrips(self, echodot_events):
+        """The actual deployed artefact (scaler + BernoulliNB) survives."""
+        from repro.core import train_event_classifier
+        from repro.features import event_features
+        from repro.testbed import profile_for
+
+        classifier = train_event_classifier(profile_for("EchoDot4"), echodot_events)
+        document = save_model(classifier.model, classifier.scaler,
+                              metadata={"device": "EchoDot4"})
+        model, scaler, _ = load_model(document)
+        event = echodot_events[0]
+        features = scaler.transform(event_features(event, 5).reshape(1, -1))
+        assert model.predict(features)[0] == classifier.classify_packets(
+            event.first_n(5)
+        )

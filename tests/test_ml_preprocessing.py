@@ -1,0 +1,62 @@
+"""Unit tests for preprocessing (scaler, label encoder)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LabelEncoder, StandardScaler
+
+
+class TestStandardScaler:
+    def test_unit_variance(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+        assert np.allclose(Xs[:, 1], 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform([[1.0]])
+
+    def test_without_mean_or_std(self, rng):
+        X = rng.normal(loc=10.0, size=(50, 2))
+        no_mean = StandardScaler(with_mean=False).fit_transform(X)
+        assert no_mean.mean() > 1.0  # mean untouched
+        no_std = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(no_std.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "b", "c"])
+        assert list(enc.inverse_transform(codes)) == ["b", "a", "b", "c"]
+
+    def test_codes_sorted(self):
+        enc = LabelEncoder().fit(["z", "a"])
+        assert list(enc.classes_) == ["a", "z"]
+        assert list(enc.transform(["a", "z"])) == [0, 1]
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(["c"])
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])

@@ -1,0 +1,69 @@
+"""Unit tests for the sampling Shapley feature importances (§7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianNB, sampling_shapley_importance
+
+
+def _dataset(seed=0, n=240):
+    rng = np.random.default_rng(seed)
+    strong = rng.normal(size=n)
+    weak = 0.4 * strong + rng.normal(scale=1.0, size=n)
+    noise = rng.normal(size=(n, 2))
+    X = np.column_stack([strong, weak, noise])
+    y = (strong > 0).astype(int)
+    return X, y
+
+
+class TestShapley:
+    @pytest.fixture(scope="class")
+    def result(self):
+        X, y = _dataset()
+        model = GaussianNB().fit(X, y)
+        return (
+            sampling_shapley_importance(model, X, y, n_permutations=15, seed=0),
+            model,
+            X,
+            y,
+        )
+
+    def test_strong_feature_dominates(self, result):
+        values = result[0]["shapley_mean"]
+        assert np.argmax(values) == 0
+
+    def test_noise_near_zero(self, result):
+        values = result[0]["shapley_mean"]
+        assert np.all(np.abs(values[2:]) < 0.08)
+
+    def test_efficiency_property(self, result):
+        """Shapley values sum to score(full) - score(all-shuffled)."""
+        shap, model, X, y = result
+        rng = np.random.default_rng(0)
+        shuffled = X.copy()
+        for feature in range(X.shape[1]):
+            rng.shuffle(shuffled[:, feature])
+        gap_estimate = shap["shapley_mean"].sum()
+        full = model.score(X, y)
+        # the all-shuffled baseline hovers near chance (0.5)
+        assert abs(gap_estimate - (full - 0.5)) < 0.15
+
+    def test_invalid_permutations(self):
+        X, y = _dataset()
+        model = GaussianNB().fit(X, y)
+        with pytest.raises(ValueError):
+            sampling_shapley_importance(model, X, y, n_permutations=0)
+
+    def test_input_untouched(self):
+        X, y = _dataset()
+        X_copy = X.copy()
+        model = GaussianNB().fit(X, y)
+        sampling_shapley_importance(model, X, y, n_permutations=3, seed=1)
+        assert np.array_equal(X, X_copy)
+
+    def test_agrees_with_permutation_importance_ranking(self, result):
+        from repro.ml import permutation_importance
+
+        shap, model, X, y = result
+        perm = permutation_importance(model, X, y, n_repeats=10, seed=0)
+        assert np.argmax(perm["importances_mean"]) == np.argmax(shap["shapley_mean"])

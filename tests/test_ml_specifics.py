@@ -1,0 +1,183 @@
+"""Model-specific unit tests beyond the shared behavioural suite."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    BernoulliNB,
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearSVC,
+    MLPClassifier,
+    NearestCentroidClassifier,
+    RandomForestClassifier,
+    pairwise_distances,
+)
+
+
+class TestDistances:
+    def test_metrics_formulae(self):
+        A = np.array([[0.0, 0.0]])
+        B = np.array([[3.0, 4.0]])
+        assert pairwise_distances(A, B, "euclidean")[0, 0] == pytest.approx(5.0)
+        assert pairwise_distances(A, B, "manhattan")[0, 0] == pytest.approx(7.0)
+        assert pairwise_distances(A, B, "chebyshev")[0, 0] == pytest.approx(4.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((1, 1)), np.zeros((1, 1)), "cosine")
+
+    def test_ncc_bad_metric_rejected(self):
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier(metric="cosine")
+
+
+class TestNearestCentroid:
+    def test_centroids_are_class_means(self):
+        X = np.array([[0.0], [2.0], [10.0], [12.0]])
+        y = np.array([0, 0, 1, 1])
+        model = NearestCentroidClassifier("euclidean").fit(X, y)
+        assert model.centroids_.ravel().tolist() == [1.0, 11.0]
+
+    def test_metric_changes_decision(self):
+        # A point closer to c0 in Chebyshev but closer to c1 in Manhattan.
+        X = np.array([[0.0, 0.0], [4.0, 4.0]])
+        y = np.array([0, 1])
+        point = np.array([[3.5, 0.5]])  # cheb: d0=3.5 d1=3.5; manh: d0=4 d1=4
+        point = np.array([[3.0, 1.0]])  # cheb: d0=3, d1=3; manh d0=4 d1=4
+        point = np.array([[3.0, 0.0]])  # cheb d0=3 d1=4 -> class0; manh d0=3 d1=5 -> class0
+        model_c = NearestCentroidClassifier("chebyshev").fit(X, y)
+        assert model_c.predict(point)[0] == 0
+
+
+class TestKNN:
+    def test_k_one_memorises(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        y = np.array([0, 1, 2])
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert list(model.predict(X)) == [0, 1, 2]
+
+    def test_k_clamped_to_dataset(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        model.predict(X)  # must not raise
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+
+class TestNaiveBayes:
+    def test_bernoulli_binarize_threshold(self):
+        # All signal below the default 0.0 threshold disappears.
+        X = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        y = np.array([0, 0, 1, 1])
+        default = BernoulliNB().fit(X, y)
+        assert default.score(X, y) == 1.0
+        shifted = BernoulliNB(binarize=5.0).fit(X, y)
+        # everything binarises to 0: no information left
+        assert shifted.score(X, y) <= 0.75
+
+    def test_bernoulli_alpha_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliNB(alpha=0.0)
+
+    def test_gaussian_handles_constant_feature(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 10.0], [1.0, 11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_gaussian_priors_reflect_frequencies(self):
+        X = np.array([[0.0]] * 9 + [[10.0]])
+        y = np.array([0] * 9 + [1])
+        model = GaussianNB().fit(X, y)
+        assert np.exp(model.class_log_prior_[0]) == pytest.approx(0.9)
+
+
+class TestDecisionTree:
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_pure_node_is_leaf(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth == 0
+        assert tree.n_leaves == 1
+
+    def test_min_samples_leaf(self):
+        X = np.array([[float(i)] for i in range(10)])
+        y = np.array([0] * 9 + [1])
+        tree = DecisionTreeClassifier(min_samples_leaf=3).fit(X, y)
+        # cannot isolate the single minority sample
+        assert tree.n_leaves <= 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+
+class TestEnsembles:
+    def test_forest_more_stable_than_tree(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(150, 8))
+        y = ((X[:, 0] + 0.5 * X[:, 1] + rng.normal(scale=0.8, size=150)) > 0).astype(int)
+        X_test = rng.normal(size=(150, 8))
+        y_test = (X_test[:, 0] + 0.5 * X_test[:, 1] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=40, seed=0).fit(X, y)
+        assert forest.score(X_test, y_test) > 0.7
+
+    def test_adaboost_weights_positive(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert all(w > 0 for w in model.estimator_weights_)
+        assert len(model.estimators_) >= 1
+
+    def test_adaboost_boosts_beyond_stump(self):
+        # XOR-ish data: a single stump cannot fit it; boosting improves.
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=80, base_max_depth=2, seed=0).fit(X, y)
+        assert boosted.score(X, y) > stump.score(X, y)
+
+
+class TestLinearSVCAndMLP:
+    def test_svc_decision_function_shape(self):
+        X = np.array([[0.0], [1.0], [5.0], [6.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LinearSVC(n_epochs=30).fit(X, y)
+        assert model.decision_function(X).shape == (4, 2)
+
+    def test_svc_margin_sign(self):
+        X = np.array([[-5.0], [-4.0], [4.0], [5.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LinearSVC(n_epochs=50).fit(X, y)
+        scores = model.decision_function(np.array([[-10.0], [10.0]]))
+        assert scores[0, 0] > scores[0, 1]
+        assert scores[1, 1] > scores[1, 0]
+
+    def test_mlp_validates_params(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=(0,))
+        with pytest.raises(ValueError):
+            MLPClassifier(n_epochs=0)
+
+    def test_mlp_learns_xor(self):
+        X = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 20)
+        y = np.array([0, 1, 1, 0] * 20)
+        model = MLPClassifier(hidden_layer_sizes=(16, 16), n_epochs=400, seed=0).fit(X, y)
+        assert model.score(X, y) == 1.0

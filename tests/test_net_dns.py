@@ -1,0 +1,65 @@
+"""Unit tests for the DNS table."""
+
+from repro.net import DnsTable
+
+
+class TestResolution:
+    def test_forward_record(self):
+        dns = DnsTable([("1.2.3.4", "a.example.com")])
+        assert dns.domain_for("1.2.3.4") == "a.example.com"
+
+    def test_unknown_ip_is_none(self):
+        assert DnsTable().domain_for("9.9.9.9") is None
+
+    def test_reverse_record_used_as_fallback(self):
+        dns = DnsTable()
+        dns.add_reverse_record("1.2.3.4", "ptr.example.com")
+        assert dns.domain_for("1.2.3.4") == "ptr.example.com"
+
+    def test_forward_wins_over_reverse(self):
+        dns = DnsTable([("1.2.3.4", "fwd.example.com")])
+        dns.add_reverse_record("1.2.3.4", "ptr.example.com")
+        assert dns.domain_for("1.2.3.4") == "fwd.example.com"
+
+
+class TestAliases:
+    def test_alias_canonicalised(self):
+        dns = DnsTable([("1.2.3.4", "cdn.alias.net")])
+        dns.add_alias("cdn.alias.net", "origin.example.com")
+        assert dns.domain_for("1.2.3.4") == "origin.example.com"
+
+    def test_alias_chain(self):
+        dns = DnsTable([("1.2.3.4", "a")])
+        dns.add_alias("a", "b")
+        dns.add_alias("b", "c")
+        assert dns.domain_for("1.2.3.4") == "c"
+
+    def test_alias_cycle_terminates(self):
+        dns = DnsTable([("1.2.3.4", "a")])
+        dns.add_alias("a", "b")
+        dns.add_alias("b", "a")
+        assert dns.domain_for("1.2.3.4") in ("a", "b")
+
+
+class TestIpsForAndMerge:
+    def test_ips_for_collects_all(self):
+        dns = DnsTable([("1.1.1.1", "x.com"), ("2.2.2.2", "x.com"), ("3.3.3.3", "y.com")])
+        assert set(dns.ips_for("x.com")) == {"1.1.1.1", "2.2.2.2"}
+
+    def test_ips_for_follows_aliases(self):
+        dns = DnsTable([("1.1.1.1", "alias.com")])
+        dns.add_alias("alias.com", "x.com")
+        assert dns.ips_for("x.com") == ("1.1.1.1",)
+
+    def test_merge_other_wins(self):
+        a = DnsTable([("1.1.1.1", "old.com")])
+        b = DnsTable([("1.1.1.1", "new.com")])
+        assert a.merge(b).domain_for("1.1.1.1") == "new.com"
+
+    def test_len_and_contains(self):
+        dns = DnsTable([("1.1.1.1", "x.com")])
+        dns.add_reverse_record("2.2.2.2", "y.com")
+        assert len(dns) == 2
+        assert "1.1.1.1" in dns
+        assert "2.2.2.2" in dns
+        assert "3.3.3.3" not in dns

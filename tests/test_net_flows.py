@@ -1,0 +1,71 @@
+"""Unit tests for flow-key definitions (Classic vs PortLess)."""
+
+import pytest
+
+from repro.net import Direction, DnsTable, FlowDefinition, classic_key, flow_key, portless_key
+from repro.net.flows import flow_pretty
+from tests.conftest import make_packet
+
+
+class TestClassicKey:
+    def test_contains_all_six_fields(self):
+        packet = make_packet(size=321)
+        key = classic_key(packet)
+        assert key == (
+            packet.src_ip,
+            packet.dst_ip,
+            packet.src_port,
+            packet.dst_port,
+            "tcp",
+            321,
+        )
+
+    def test_different_ports_different_buckets(self):
+        a = make_packet(src_port=40000)
+        b = make_packet(src_port=40001)
+        assert classic_key(a) != classic_key(b)
+
+
+class TestPortlessKey:
+    def test_ports_ignored(self):
+        a = make_packet(src_port=40000, dst_port=443)
+        b = make_packet(src_port=50123, dst_port=8883)
+        assert portless_key(a) == portless_key(b)
+
+    def test_domain_substitution(self):
+        dns = DnsTable([("172.1.2.3", "api.vendor.com")])
+        packet = make_packet(dst_ip="172.1.2.3")
+        key = portless_key(packet, dns)
+        assert "api.vendor.com" in key
+        assert "172.1.2.3" not in key
+
+    def test_two_ips_same_domain_same_bucket(self):
+        dns = DnsTable([("172.1.2.3", "api.vendor.com"), ("172.9.9.9", "api.vendor.com")])
+        a = make_packet(dst_ip="172.1.2.3")
+        b = make_packet(dst_ip="172.9.9.9")
+        assert portless_key(a, dns) == portless_key(b, dns)
+
+    def test_unresolvable_ip_falls_back(self):
+        key = portless_key(make_packet(dst_ip="1.2.3.4"), DnsTable())
+        assert "1.2.3.4" in key
+
+    def test_direction_distinguishes(self):
+        out = make_packet(direction=Direction.OUTBOUND)
+        inb = make_packet(
+            direction=Direction.INBOUND, src_ip="172.1.2.3", dst_ip="192.168.1.10"
+        )
+        assert portless_key(out) != portless_key(inb)
+
+
+class TestDispatchAndPretty:
+    def test_flow_key_dispatch(self):
+        packet = make_packet()
+        assert flow_key(packet, FlowDefinition.CLASSIC) == classic_key(packet)
+        assert flow_key(packet, FlowDefinition.PORTLESS) == portless_key(packet)
+
+    def test_pretty_renders(self):
+        packet = make_packet(size=99)
+        text = flow_pretty(classic_key(packet), FlowDefinition.CLASSIC)
+        assert "99B" in text
+        text = flow_pretty(portless_key(packet), FlowDefinition.PORTLESS)
+        assert "99B" in text

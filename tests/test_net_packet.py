@@ -1,0 +1,77 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net import Direction, Packet, TrafficClass
+from tests.conftest import make_packet
+
+
+class TestPacketValidation:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            make_packet(size=-1)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            make_packet(protocol="sctp")
+
+    def test_port_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="ports"):
+            make_packet(src_port=70000)
+
+    def test_zero_size_allowed(self):
+        assert make_packet(size=0).size == 0
+
+
+class TestPacketDirections:
+    def test_remote_ip_outbound(self):
+        packet = make_packet(direction=Direction.OUTBOUND)
+        assert packet.remote_ip == packet.dst_ip
+        assert packet.device_ip == packet.src_ip
+
+    def test_remote_ip_inbound(self):
+        packet = make_packet(
+            direction=Direction.INBOUND, src_ip="172.1.2.3", dst_ip="192.168.1.10"
+        )
+        assert packet.remote_ip == "172.1.2.3"
+        assert packet.device_ip == "192.168.1.10"
+
+    def test_remote_port(self):
+        outbound = make_packet(direction=Direction.OUTBOUND, dst_port=443)
+        assert outbound.remote_port == 443
+        inbound = make_packet(direction=Direction.INBOUND, src_port=8883)
+        assert inbound.remote_port == 8883
+
+    def test_flipped(self):
+        assert Direction.OUTBOUND.flipped() is Direction.INBOUND
+        assert Direction.INBOUND.flipped() is Direction.OUTBOUND
+
+
+class TestPacketHelpers:
+    def test_is_tls(self):
+        assert not make_packet(tls_version=0).is_tls
+        assert make_packet(tls_version=12).is_tls
+
+    def test_with_timestamp_shifts_only_time(self):
+        packet = make_packet(timestamp=1.0, size=222)
+        shifted = packet.with_timestamp(9.0)
+        assert shifted.timestamp == 9.0
+        assert shifted.size == 222
+
+    def test_roundtrip_dict(self):
+        packet = make_packet(
+            timestamp=3.5,
+            tcp_flags=24,
+            tls_version=13,
+            traffic_class=TrafficClass.MANUAL,
+            event_id="e1",
+        )
+        assert Packet.from_dict(packet.to_dict()) == packet
+
+    def test_from_dict_defaults(self):
+        data = make_packet().to_dict()
+        del data["tcp_flags"], data["tls_version"], data["event_id"]
+        packet = Packet.from_dict(data)
+        assert packet.tcp_flags == 0
+        assert packet.tls_version == 0
+        assert packet.event_id is None

@@ -1,0 +1,80 @@
+"""Unit tests for the Trace container."""
+
+from repro.net import Trace, TrafficClass
+from tests.conftest import make_packet
+
+
+class TestOrderingAndBasics:
+    def test_packets_sorted_on_construction(self):
+        trace = Trace([make_packet(timestamp=5.0), make_packet(timestamp=1.0)])
+        assert [p.timestamp for p in trace] == [1.0, 5.0]
+
+    def test_len_iter_getitem(self):
+        trace = Trace([make_packet(timestamp=float(i)) for i in range(3)])
+        assert len(trace) == 3
+        assert trace[1].timestamp == 1.0
+        assert sum(1 for _ in trace) == 3
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.start == 0.0
+        assert trace.duration == 0.0
+
+    def test_duration(self):
+        trace = Trace([make_packet(timestamp=2.0), make_packet(timestamp=12.0)])
+        assert trace.duration == 10.0
+
+
+class TestTransformations:
+    def test_for_device(self):
+        trace = Trace(
+            [make_packet(device="a"), make_packet(device="b"), make_packet(device="a")]
+        )
+        assert len(trace.for_device("a")) == 2
+        assert trace.devices() == ("a", "b")
+
+    def test_for_class(self):
+        trace = Trace(
+            [
+                make_packet(traffic_class=TrafficClass.MANUAL),
+                make_packet(traffic_class=TrafficClass.CONTROL),
+            ]
+        )
+        assert len(trace.for_class(TrafficClass.MANUAL)) == 1
+
+    def test_between_half_open(self):
+        trace = Trace([make_packet(timestamp=float(t)) for t in range(5)])
+        window = trace.between(1.0, 3.0)
+        assert [p.timestamp for p in window] == [1.0, 2.0]
+
+    def test_merge_interleaves(self):
+        a = Trace([make_packet(timestamp=0.0), make_packet(timestamp=2.0)])
+        b = Trace([make_packet(timestamp=1.0)])
+        merged = a.merge(b)
+        assert [p.timestamp for p in merged] == [0.0, 1.0, 2.0]
+
+
+class TestStatsAndSerialisation:
+    def test_stats(self):
+        trace = Trace(
+            [
+                make_packet(size=100, traffic_class=TrafficClass.CONTROL),
+                make_packet(size=200, traffic_class=TrafficClass.MANUAL),
+            ]
+        )
+        stats = trace.stats()
+        assert stats.n_packets == 2
+        assert stats.n_bytes == 300
+        assert stats.class_counts == {"control": 1, "manual": 1}
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        trace = Trace(
+            [make_packet(timestamp=float(i), size=100 + i, event_id=f"e{i}") for i in range(4)],
+            name="unit",
+        )
+        path = str(tmp_path / "trace.jsonl")
+        trace.to_jsonl(path)
+        loaded = Trace.from_jsonl(path)
+        assert loaded.name == "unit"
+        assert loaded.packets == trace.packets

@@ -1,0 +1,86 @@
+"""Unit tests for the predictability analyzer (Fig 1b/1c/2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.net import FlowDefinition, Trace, TrafficClass
+from repro.predictability import analyze_trace, cdf, max_predictable_intervals
+from tests.conftest import make_packet
+
+
+def _mixed_trace():
+    periodic = [
+        make_packet(timestamp=float(t), device="devA") for t in range(0, 200, 10)
+    ]
+    noise = [
+        make_packet(
+            timestamp=float(t) + 0.5,
+            size=1000 + t,
+            device="devA",
+            traffic_class=TrafficClass.MANUAL,
+        )
+        for t in range(0, 50, 13)
+    ]
+    other = [make_packet(timestamp=float(t), size=77, device="devB") for t in range(0, 60, 5)]
+    return Trace(periodic + noise + other)
+
+
+class TestAnalyzeTrace:
+    def test_per_device_fractions(self):
+        report = analyze_trace(_mixed_trace())
+        assert set(report.devices) == {"devA", "devB"}
+        assert report.fraction_for("devB") == 1.0
+        assert 0.5 < report.fraction_for("devA") < 1.0
+
+    def test_class_breakdown(self):
+        report = analyze_trace(_mixed_trace())
+        entry = report.devices["devA"]
+        assert entry.class_fraction(TrafficClass.CONTROL) == 1.0
+        assert entry.class_fraction(TrafficClass.MANUAL) == 0.0
+        assert entry.class_fraction(TrafficClass.AUTOMATED) is None
+
+    def test_fractions_list(self):
+        report = analyze_trace(_mixed_trace())
+        assert len(report.fractions()) == 2
+
+    def test_empty_device_fraction(self):
+        report = analyze_trace(Trace([]))
+        assert report.fractions() == []
+
+
+class TestMaxIntervals:
+    def test_constant_period_interval(self):
+        trace = Trace([make_packet(timestamp=float(t)) for t in range(0, 100, 10)])
+        intervals = max_predictable_intervals(trace)
+        assert len(intervals) == 1
+        assert pytest.approx(10.0, abs=0.01) == list(intervals.values())[0]
+
+    def test_unpredictable_flows_absent(self, rng):
+        packets = [
+            make_packet(timestamp=float(t), size=int(rng.integers(100, 5000)))
+            for t in range(0, 40, 7)
+        ]
+        assert max_predictable_intervals(Trace(packets)) == {}
+
+    def test_gap_recorded(self):
+        # Periodic flow with a long hole in the middle.
+        times = list(range(0, 50, 10)) + list(range(300, 350, 10))
+        trace = Trace([make_packet(timestamp=float(t)) for t in times])
+        intervals = max_predictable_intervals(trace)
+        assert max(intervals.values()) >= 250.0
+
+
+class TestCdf:
+    def test_basic_shape(self):
+        x, y = cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, y = cdf([])
+        assert len(x) == 0 and len(y) == 0
+
+    def test_monotone(self, rng):
+        x, y = cdf(rng.normal(size=50))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) > 0)

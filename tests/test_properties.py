@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ReplayCache, SecureKeystore
+from repro.events import UnpredictableEvent, group_events
+from repro.ml import StandardScaler, balanced_accuracy_score, confusion_matrix, precision_recall_f1
+from repro.net import Direction, Packet, Trace
+from repro.predictability import cdf, label_predictable, quantize_iat
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+ports = st.integers(min_value=0, max_value=65535)
+sizes = st.integers(min_value=0, max_value=65535)
+timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def packets(draw):
+    return Packet(
+        timestamp=draw(timestamps),
+        size=draw(sizes),
+        src_ip="10.0.0.1",
+        dst_ip="10.0.0.2",
+        src_port=draw(ports),
+        dst_port=draw(ports),
+        protocol=draw(st.sampled_from(["tcp", "udp"])),
+        direction=draw(st.sampled_from(list(Direction))),
+        device=draw(st.sampled_from(["a", "b"])),
+        tcp_flags=draw(st.integers(min_value=0, max_value=255)),
+        tls_version=draw(st.sampled_from([0, 10, 11, 12, 13])),
+    )
+
+
+class TestPacketProperties:
+    @given(packets())
+    def test_dict_roundtrip(self, packet):
+        assert Packet.from_dict(packet.to_dict()) == packet
+
+    @given(st.lists(packets(), max_size=30))
+    def test_trace_always_sorted(self, packet_list):
+        trace = Trace(packet_list)
+        times = [p.timestamp for p in trace]
+        assert times == sorted(times)
+
+    @given(st.lists(packets(), max_size=30))
+    def test_filter_is_subset(self, packet_list):
+        trace = Trace(packet_list)
+        filtered = trace.filter(lambda p: p.size > 100)
+        assert len(filtered) <= len(trace)
+        assert all(p.size > 100 for p in filtered)
+
+
+class TestPredictabilityProperties:
+    @given(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    def test_quantize_non_negative(self, iat):
+        assert quantize_iat(iat) >= 0
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e4),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_quantize_within_half_resolution(self, iat, resolution):
+        bin_index = quantize_iat(iat, resolution)
+        assert abs(bin_index * resolution - iat) <= resolution / 2 + 1e-9
+
+    @given(st.lists(packets(), max_size=40))
+    @settings(deadline=None)
+    def test_mask_length_invariant(self, packet_list):
+        trace = Trace(packet_list)
+        assert len(label_predictable(trace)) == len(trace)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=50))
+    def test_cdf_properties(self, values):
+        x, y = cdf(values)
+        assert len(x) == len(y) == len(values)
+        if len(values):
+            assert y[-1] == 1.0
+            assert np.all(np.diff(x) >= 0)
+
+
+class TestEventProperties:
+    @given(st.lists(packets(), min_size=1, max_size=40), st.floats(min_value=0.1, max_value=60.0))
+    @settings(deadline=None)
+    def test_grouping_partitions_unpredictable_packets(self, packet_list, gap):
+        trace = Trace(packet_list)
+        mask = [False] * len(trace)
+        events = group_events(trace, mask, gap=gap)
+        assert sum(len(e) for e in events) == len(trace)
+
+    @given(st.lists(packets(), min_size=1, max_size=40), st.floats(min_value=0.1, max_value=60.0))
+    @settings(deadline=None)
+    def test_gap_invariant_within_events(self, packet_list, gap):
+        trace = Trace(packet_list)
+        events = group_events(trace, [False] * len(trace), gap=gap)
+        for event in events:
+            diffs = np.diff([p.timestamp for p in event.packets])
+            assert np.all(diffs <= gap + 1e-9)
+
+
+class TestMetricProperties:
+    labels = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60)
+
+    @given(labels, labels)
+    def test_confusion_total(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        matrix, _ = confusion_matrix(y_true[:n], y_pred[:n])
+        assert matrix.sum() == n
+
+    @given(labels)
+    def test_perfect_prediction_metrics(self, y):
+        assert balanced_accuracy_score(y, y) == 1.0
+        p, r, f = precision_recall_f1(y, y, positive=y[0])
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    @given(labels, labels)
+    def test_metric_bounds(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        if n == 0:
+            return
+        p, r, f = precision_recall_f1(y_true[:n], y_pred[:n], positive=0)
+        for value in (p, r, f):
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= balanced_accuracy_score(y_true[:n], y_pred[:n]) <= 1.0
+
+
+class TestScalerProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_roundtrip(self, rows):
+        X = np.asarray(rows)
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, atol=1e-6 * max(1.0, np.abs(X).max()))
+
+
+class TestCryptoProperties:
+    @given(st.binary(min_size=0, max_size=200))
+    def test_sign_verify_any_payload(self, payload):
+        store = SecureKeystore("p")
+        store.generate_key("k")
+        assert store.verify(store.sign("k", payload))
+
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=50, unique=True))
+    def test_replay_cache_first_occurrence_fresh(self, identifiers):
+        cache = ReplayCache(window_seconds=1e6)
+        for i, identifier in enumerate(identifiers):
+            assert cache.check_and_register(identifier, now=float(i))
+        for identifier in identifiers[-10:]:
+            assert not cache.check_and_register(identifier, now=float(len(identifiers)))

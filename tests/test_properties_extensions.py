@@ -1,0 +1,113 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AuditLog, CycleError, DeviceInteractionGraph
+from repro.core.mud import export_profile, import_profile
+from repro.core.rules import RuleTable
+from repro.net import FlowDefinition
+from repro.ml import pad_sequences
+
+node_names = st.sampled_from(list("abcdefgh"))
+edges = st.lists(
+    st.tuples(node_names, node_names).filter(lambda e: e[0] != e[1]),
+    max_size=20,
+)
+
+
+class TestInteractionGraphProperties:
+    @given(edges)
+    def test_graph_stays_acyclic(self, edge_list):
+        """No insertion order can sneak a cycle past add_edge."""
+        graph = DeviceInteractionGraph()
+        for controller, target in edge_list:
+            try:
+                graph.add_edge(controller, target)
+            except CycleError:
+                continue
+        # topological_order succeeds iff the graph is acyclic
+        order = graph.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for rule in graph.rules():
+            assert position[rule.controller] < position[rule.target]
+
+    @given(edges)
+    def test_reachability_transitive(self, edge_list):
+        graph = DeviceInteractionGraph()
+        for controller, target in edge_list:
+            try:
+                graph.add_edge(controller, target)
+            except CycleError:
+                continue
+        for rule in graph.rules():
+            reachable = graph.reachable(rule.controller)
+            assert rule.target in reachable
+            # transitivity: everything reachable from the target too
+            assert graph.reachable(rule.target) <= reachable
+
+
+class TestAuditProperties:
+    entries = st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            st.sampled_from(["decision", "alert", "validation"]),
+            st.dictionaries(st.sampled_from(["device", "action", "x"]), st.text(max_size=8)),
+        ),
+        max_size=25,
+    )
+
+    @given(entries)
+    def test_chain_always_verifies(self, records):
+        log = AuditLog()
+        for timestamp, kind, payload in records:
+            log.append(timestamp, kind, payload)
+        assert log.verify()
+
+    @given(entries.filter(lambda r: len(r) >= 2), st.data())
+    def test_any_single_tamper_detected(self, records, data):
+        log = AuditLog()
+        for timestamp, kind, payload in records:
+            log.append(timestamp, kind, payload)
+        index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        log._entries[index].payload["__forged"] = "x"
+        assert not log.verify()
+
+
+class TestMudProperties:
+    rule_keys = st.lists(
+        st.tuples(
+            st.sampled_from(["192.168.1.10", "192.168.1.11"]),
+            st.sampled_from(["a.example.com", "b.example.com", "10.0.0.1"]),
+            st.sampled_from(["in", "out"]),
+            st.sampled_from(["tcp", "udp"]),
+            st.integers(min_value=40, max_value=1500),
+        ),
+        max_size=15,
+        unique=True,
+    )
+
+    @given(rule_keys, st.sets(st.integers(min_value=0, max_value=500), min_size=1, max_size=5))
+    @settings(deadline=None)
+    def test_profile_roundtrip_preserves_rules(self, keys, bins):
+        table = RuleTable(FlowDefinition.PORTLESS, dns=None, resolution=0.25)
+        for key in keys:
+            table.add_rule(key, set(bins))
+        restored = import_profile(export_profile("dev", table))["table"]
+        assert len(restored) == len(table)
+        for key in keys:
+            assert restored._rules[key] == set(bins)
+
+
+class TestPaddingProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=12), min_size=1, max_size=10
+        )
+    )
+    def test_mask_sums_match_lengths(self, lengths):
+        sequences = [np.ones((t, 3)) for t in lengths]
+        padded, mask = pad_sequences(sequences)
+        assert padded.shape == (len(lengths), max(lengths), 3)
+        assert mask.sum(axis=1).tolist() == [float(t) for t in lengths]

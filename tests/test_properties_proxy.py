@@ -1,0 +1,82 @@
+"""Property-based tests on the FIAT proxy's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FiatConfig, FiatProxy, HumanValidationService, train_event_classifier
+from repro.crypto import pair
+from repro.net import Direction, Packet
+from repro.sensors import HumannessValidator
+from repro.testbed import profile_for
+
+# A single validator is expensive to train; share it across examples.
+_VALIDATOR = HumannessValidator(n_train_per_class=60, seed=0).fit()
+
+
+def _proxy(bootstrap_s=0.0):
+    _, proxy_ks = pair("phone", "proxy")
+    return FiatProxy(
+        config=FiatConfig(bootstrap_s=bootstrap_s),
+        dns=None,
+        classifiers={"SP10": train_event_classifier(profile_for("SP10"))},
+        validation=HumanValidationService(proxy_ks, validator=_VALIDATOR),
+        app_for_device={},
+    )
+
+
+@st.composite
+def packet_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=50))
+    base = 0.0
+    packets = []
+    for _ in range(n):
+        base += draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+        packets.append(
+            Packet(
+                timestamp=base,
+                size=draw(st.integers(min_value=0, max_value=1500)),
+                src_ip="10.0.0.1",
+                dst_ip="192.168.1.10",
+                src_port=draw(st.integers(min_value=1, max_value=65535)),
+                dst_port=draw(st.integers(min_value=1, max_value=65535)),
+                protocol=draw(st.sampled_from(["tcp", "udp"])),
+                direction=draw(st.sampled_from(list(Direction))),
+                device=draw(st.sampled_from(["SP10", "ghost"])),
+            )
+        )
+    return packets
+
+
+class TestProxyProperties:
+    @given(packet_streams())
+    @settings(deadline=None, max_examples=30)
+    def test_never_crashes_and_partitions_packets(self, packets):
+        proxy = _proxy()
+        for packet in packets:
+            proxy.process(packet)
+        proxy.flush()
+        # every unpredictable packet landed in exactly one logged event
+        logged = sum(d.n_packets for d in proxy.decisions)
+        assert logged == len(packets)  # empty rule table: all unpredictable
+        assert proxy.n_allowed + proxy.n_dropped == len(packets)
+
+    @given(packet_streams())
+    @settings(deadline=None, max_examples=30)
+    def test_bootstrap_allows_everything(self, packets):
+        proxy = _proxy(bootstrap_s=1e9)
+        assert all(proxy.process(p) for p in packets)
+        assert proxy.n_dropped == 0
+
+    @given(packet_streams())
+    @settings(deadline=None, max_examples=20)
+    def test_decisions_sorted_and_consistent(self, packets):
+        proxy = _proxy()
+        for packet in packets:
+            proxy.process(packet)
+        proxy.flush()
+        for decision in proxy.decisions:
+            assert decision.n_packets >= 1
+            assert decision.action in ("allow", "drop")
+            if decision.action == "drop":
+                assert decision.predicted_manual

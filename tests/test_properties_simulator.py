@@ -1,0 +1,71 @@
+"""Property-based tests on the traffic simulator's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import TrafficClass
+from repro.testbed import Household, HouseholdConfig, TESTBED, generate_labeled_events
+
+DEVICE_NAMES = sorted(TESTBED)
+
+
+class TestEventGeneration:
+    @given(
+        device=st.sampled_from(DEVICE_NAMES),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(deadline=None, max_examples=15)
+    def test_event_counts_and_labels(self, device, seed):
+        events = generate_labeled_events(
+            device, n_manual=5, n_automated=5, n_control=5, seed=seed
+        )
+        assert len(events) == 15
+        for event in events:
+            assert len(event) >= 1
+            # packets within one event are time-ordered
+            times = [p.timestamp for p in event]
+            assert times == sorted(times)
+            # the whole event carries one ground-truth event id
+            ids = {p.event_id for p in event}
+            assert len(ids) == 1
+
+    @given(
+        device=st.sampled_from(DEVICE_NAMES),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(deadline=None, max_examples=10)
+    def test_events_never_merge_under_gap_rule(self, device, seed):
+        events = generate_labeled_events(
+            device, n_manual=4, n_automated=4, n_control=4, seed=seed
+        )
+        for earlier, later in zip(events, events[1:]):
+            assert later.start - earlier.end > 5.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=8)
+    def test_rule_devices_emit_signature_sizes(self, seed):
+        events = generate_labeled_events(
+            "SP10", n_manual=5, n_automated=0, n_control=0, seed=seed
+        )
+        assert all(e.packets[0].size == 235 for e in events)
+
+
+class TestHouseholdInvariants:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(deadline=None, max_examples=5)
+    def test_short_simulation_wellformed(self, seed):
+        config = HouseholdConfig(duration_s=300.0, seed=seed)
+        result = Household(["SP10"], config).simulate()
+        assert len(result.trace) > 0
+        times = [p.timestamp for p in result.trace]
+        assert times == sorted(times)
+        # every packet belongs to the simulated device
+        assert set(result.trace.devices()) == {"SP10"}
+        # ground truth classes are a subset of the legitimate ones
+        classes = {p.traffic_class for p in result.trace}
+        assert classes <= {
+            TrafficClass.CONTROL,
+            TrafficClass.AUTOMATED,
+            TrafficClass.MANUAL,
+        }

@@ -1,0 +1,127 @@
+"""Tests for the declarative scenario runner."""
+
+import json
+
+import pytest
+
+from repro.scenarios import EXAMPLE_SCENARIO, run_scenario
+
+
+@pytest.fixture(scope="module")
+def example_report():
+    return run_scenario(EXAMPLE_SCENARIO)
+
+
+class TestExampleScenario:
+    def test_user_commands_execute(self, example_report):
+        assert example_report.user_commands_executed == 2
+
+    def test_attacks_blocked(self, example_report):
+        assert example_report.attacks_blocked == 2
+
+    def test_outcomes_cover_timeline(self, example_report):
+        assert len(example_report.outcomes) == len(EXAMPLE_SCENARIO["timeline"])
+
+    def test_audit_verifies(self, example_report):
+        assert example_report.audit is not None
+        assert example_report.audit.verify()
+
+    def test_user_report_devices(self, example_report):
+        assert set(example_report.user_report) <= {"SP10", "EchoDot4"}
+        assert "SP10" in example_report.user_report
+
+    def test_alerts_for_attacks(self, example_report):
+        assert any("SP10" in alert for alert in example_report.alerts)
+
+    def test_json_serialisation(self, example_report):
+        data = json.loads(example_report.to_json())
+        assert data["name"] == "evening-attack"
+        assert data["attacks_blocked"] == 2
+
+
+class TestScenarioInput:
+    def test_accepts_json_string(self):
+        report = run_scenario(json.dumps(EXAMPLE_SCENARIO))
+        assert report.name == "evening-attack"
+
+    def test_missing_devices_rejected(self):
+        with pytest.raises(ValueError, match="device"):
+            run_scenario({"timeline": []})
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown action"):
+            run_scenario(
+                {"devices": ["SP10"], "timeline": [{"at": 0, "device": "SP10", "action": "dance"}]}
+            )
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            run_scenario(
+                {
+                    "devices": ["SP10"],
+                    "timeline": [
+                        {"at": 0, "device": "SP10", "action": "attack", "attack": "voodoo"}
+                    ],
+                }
+            )
+
+    def test_missing_at_rejected(self):
+        with pytest.raises(ValueError, match="'at'"):
+            run_scenario(
+                {"devices": ["SP10"], "timeline": [{"device": "SP10", "action": "background"}]}
+            )
+
+
+class TestScenarioSemantics:
+    def test_spyware_sync_attack_succeeds(self):
+        report = run_scenario(
+            {
+                "devices": ["SP10"],
+                "seed": 3,
+                "timeline": [
+                    {"at": 100.0, "action": "attack", "device": "SP10",
+                     "attack": "spyware-sync"},
+                ],
+            }
+        )
+        # synchronized spyware rides the genuine human motion (§7)
+        assert report.attacks_blocked == 0
+
+    def test_interaction_rule_allows_device_command(self):
+        # Without the DAG rule the attack-shaped traffic from another
+        # device would be dropped; run_scenario wires the graph in.
+        report = run_scenario(
+            {
+                "devices": ["SP10", "EchoDot4"],
+                "interactions": [{"controller": "EchoDot4", "target": "SP10"}],
+                "timeline": [
+                    {"at": 100.0, "action": "user-command", "device": "SP10"},
+                ],
+            }
+        )
+        assert report.user_commands_executed == 1
+
+    def test_background_control_event(self):
+        report = run_scenario(
+            {
+                "devices": ["EchoDot4"],
+                "timeline": [
+                    {"at": 50.0, "action": "background", "device": "EchoDot4",
+                     "class": "control"},
+                ],
+            }
+        )
+        assert len(report.outcomes) == 1
+
+    def test_timeline_sorted_by_time(self):
+        report = run_scenario(
+            {
+                "devices": ["SP10"],
+                "timeline": [
+                    {"at": 200.0, "action": "user-command", "device": "SP10"},
+                    {"at": 100.0, "action": "user-command", "device": "SP10"},
+                ],
+            }
+        )
+        times = [o["at"] for o in report.outcomes]
+        assert times == sorted(times)

@@ -1,0 +1,97 @@
+"""Unit tests for motion synthesis and humanness validation."""
+
+import numpy as np
+import pytest
+
+from repro.sensors import (
+    GRAVITY,
+    SAMPLE_RATE_HZ,
+    HumannessValidator,
+    MotionKind,
+    generate_humanness_dataset,
+    synthesize_window,
+)
+
+
+class TestMotionSynthesis:
+    def test_window_shape(self, rng):
+        window = synthesize_window(MotionKind.HUMAN, duration_s=1.0, rng=rng)
+        assert window.shape == (SAMPLE_RATE_HZ, 6)
+
+    def test_gravity_on_z(self, rng):
+        window = synthesize_window(MotionKind.NON_HUMAN, rng=rng)
+        assert window[:, 2].mean() == pytest.approx(GRAVITY, abs=0.1)
+
+    def test_still_phone_is_quiet(self, rng):
+        window = synthesize_window(MotionKind.NON_HUMAN, rng=rng)
+        assert window[:, 3:6].std() < 0.02  # gyro nearly silent
+
+    def test_human_motion_is_loud(self, rng):
+        human = synthesize_window(MotionKind.HUMAN, intensity=1.0, rng=rng)
+        still = synthesize_window(MotionKind.NON_HUMAN, rng=rng)
+        assert human[:, 3:6].std() > 3 * still[:, 3:6].std()
+
+    def test_intensity_scales_motion(self, rng):
+        gentle = synthesize_window(MotionKind.HUMAN, intensity=0.05, rng=rng)
+        strong = synthesize_window(MotionKind.HUMAN, intensity=2.0, rng=rng)
+        # compare x/y accelerometer jitter (z carries constant gravity)
+        assert strong[:, 0:2].std() > gentle[:, 0:2].std()
+
+    def test_minimum_length(self, rng):
+        window = synthesize_window(MotionKind.HUMAN, duration_s=0.001, rng=rng)
+        assert window.shape[0] >= 8
+
+    def test_deterministic_with_seed(self):
+        a = synthesize_window(MotionKind.HUMAN, rng=np.random.default_rng(5))
+        b = synthesize_window(MotionKind.HUMAN, rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestHumannessDataset:
+    def test_shape_and_labels(self):
+        X, y = generate_humanness_dataset(n_per_class=10, seed=0)
+        assert X.shape == (20, 48)
+        assert sorted(set(y)) == ["human", "non_human"]
+
+    def test_deterministic(self):
+        X1, _ = generate_humanness_dataset(n_per_class=5, seed=3)
+        X2, _ = generate_humanness_dataset(n_per_class=5, seed=3)
+        assert np.array_equal(X1, X2)
+
+
+class TestHumannessValidator:
+    @pytest.fixture(scope="class")
+    def validator(self):
+        return HumannessValidator(n_train_per_class=150, seed=0).fit()
+
+    def test_detects_clear_human(self, validator, rng):
+        hits = sum(
+            validator.is_human(synthesize_window(MotionKind.HUMAN, intensity=1.2, rng=rng))
+            for _ in range(30)
+        )
+        assert hits >= 28
+
+    def test_rejects_still_phone(self, validator, rng):
+        rejections = sum(
+            not validator.is_human(synthesize_window(MotionKind.NON_HUMAN, rng=rng))
+            for _ in range(30)
+        )
+        assert rejections >= 26
+
+    def test_feature_level_api(self, validator, rng):
+        from repro.features import sensor_features
+
+        window = synthesize_window(MotionKind.HUMAN, intensity=1.2, rng=rng)
+        assert validator.is_human_features(sensor_features(window))
+
+    def test_evaluation_recall_paper_band(self, validator):
+        (hp, hr), (np_, nr) = validator.evaluate(n_per_class=150, seed=9)
+        # Paper Table 6: human 0.992/0.934, non-human 0.938/0.982.
+        assert hr > 0.85
+        assert nr > 0.9
+        assert hp > 0.9 and np_ > 0.85
+
+    def test_lazy_fit(self, rng):
+        validator = HumannessValidator(n_train_per_class=60, seed=1)
+        window = synthesize_window(MotionKind.NON_HUMAN, rng=rng)
+        assert validator.is_human(window) in (True, False)  # fits on demand

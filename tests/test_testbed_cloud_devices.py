@@ -1,0 +1,120 @@
+"""Unit tests for the cloud directory and device profiles."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import (
+    BOSE_SOUNDTOUCH,
+    TESTBED,
+    CloudDirectory,
+    Location,
+    profile_for,
+)
+
+
+class TestCloudDirectory:
+    def test_endpoint_stable(self):
+        cloud = CloudDirectory(seed=1)
+        a = cloud.endpoint("google", "api", Location.US)
+        b = cloud.endpoint("google", "api", Location.US)
+        assert a is b
+
+    def test_location_changes_domain_and_prefix(self):
+        cloud = CloudDirectory(seed=1)
+        us = cloud.endpoint("google", "api", Location.US)
+        jp = cloud.endpoint("google", "api", Location.JP)
+        de = cloud.endpoint("google", "api", Location.DE)
+        assert us.domain.endswith(".com")
+        assert jp.domain.endswith(".co.jp")  # §3.3: google.co.jp from Japan
+        assert de.domain.endswith(".de")
+        assert us.ip.split(".")[0] != jp.ip.split(".")[0]
+
+    def test_dns_registered_for_whole_pool(self):
+        cloud = CloudDirectory(seed=1, pool_size=5)
+        endpoint = cloud.endpoint("wyze", "relay", Location.US)
+        assert len(endpoint.ips) == 5
+        for ip in endpoint.ips:
+            assert cloud.dns.domain_for(ip) == endpoint.domain
+
+    def test_pick_ip_in_pool(self, rng):
+        cloud = CloudDirectory(seed=1)
+        endpoint = cloud.endpoint("nest", "api", Location.US)
+        assert endpoint.pick_ip(rng) in endpoint.ips
+
+    def test_relay_helper(self):
+        cloud = CloudDirectory(seed=1)
+        relay = cloud.relay("amazon", Location.US)
+        assert relay.domain.startswith("relay.")
+        assert relay.port == 8883
+
+    def test_all_endpoints(self):
+        cloud = CloudDirectory(seed=1)
+        cloud.endpoint("a", "api", Location.US)
+        cloud.endpoint("b", "api", Location.US)
+        assert len(cloud.all_endpoints()) == 2
+
+
+class TestDeviceProfiles:
+    def test_ten_devices(self):
+        assert len(TESTBED) == 10
+        assert set(TESTBED) == {
+            "EchoDot4",
+            "HomeMini",
+            "WyzeCam",
+            "SP10",
+            "Home",
+            "Nest-E",
+            "EchoDot3",
+            "E4",
+            "Blink",
+            "WP3",
+        }
+
+    def test_profile_lookup(self):
+        assert profile_for("SP10").device_class == "plug"
+        with pytest.raises(KeyError, match="unknown device"):
+            profile_for("Toaster")
+
+    def test_simple_rule_devices(self):
+        # §4: SP10, WP3, Nest-E use distinctive notification sizes.
+        for name in ("SP10", "WP3", "Nest-E"):
+            assert profile_for(name).uses_simple_rules
+        for name in ("EchoDot4", "WyzeCam", "Home"):
+            assert not profile_for(name).uses_simple_rules
+
+    def test_paper_rule_sizes(self):
+        assert profile_for("SP10").simple_rule_size == 235
+        assert profile_for("Nest-E").simple_rule_size == 267
+
+    def test_n_command_range(self):
+        # §3.3: N ranges from 1 (SP10, WP3) to 41 (WyzeCam).
+        values = {name: profile.n_command for name, profile in TESTBED.items()}
+        assert values["SP10"] == 1 and values["WP3"] == 1
+        assert values["WyzeCam"] == 41
+        assert all(1 <= v <= 41 for v in values.values())
+
+    def test_plugs_have_no_automation_burst(self):
+        assert profile_for("SP10").automated_burst is None
+        assert profile_for("WP3").automated_burst is None
+        assert profile_for("EchoDot4").automated_burst is not None
+
+    def test_cameras_stream(self):
+        assert profile_for("WyzeCam").manual_stream is not None
+        assert profile_for("Blink").manual_stream is not None
+        assert profile_for("SP10").manual_stream is None
+
+    def test_nest_noisy_control(self):
+        # The Fig-2 outlier: frequent drifting control events.
+        assert profile_for("Nest-E").control_noise_per_hour > max(
+            profile_for(n).control_noise_per_hour
+            for n in TESTBED
+            if n != "Nest-E"
+        )
+
+    def test_manual_templates_include_variants(self):
+        profile = profile_for("EchoDot4")
+        assert len(profile.manual_templates()) == 1 + len(profile.manual_variants)
+
+    def test_bose_profile_for_fig1a(self):
+        # Fig 1(a): 8 flows of the Bose SoundTouch.
+        assert len(BOSE_SOUNDTOUCH.control_flows) == 8

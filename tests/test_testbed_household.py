@@ -1,0 +1,102 @@
+"""Integration tests for the household simulator."""
+
+import numpy as np
+import pytest
+
+from repro.net import FlowDefinition, TrafficClass
+from repro.predictability import analyze_trace, label_predictable
+from repro.testbed import Household, HouseholdConfig, generate_labeled_events
+
+
+class TestSimulation:
+    def test_all_classes_present(self, small_household_result):
+        trace = small_household_result.trace
+        classes = {p.traffic_class for p in trace}
+        assert {TrafficClass.CONTROL, TrafficClass.AUTOMATED, TrafficClass.MANUAL} <= classes
+
+    def test_sorted_by_timestamp(self, small_household_result):
+        trace = small_household_result.trace
+        times = [p.timestamp for p in trace]
+        assert times == sorted(times)
+
+    def test_all_devices_emit(self, small_household_result):
+        assert set(small_household_result.trace.devices()) == {"EchoDot4", "SP10", "WyzeCam"}
+
+    def test_ground_truth_log_populated(self, small_household_result):
+        log = small_household_result.log
+        assert len(log.interactions) > 0
+        assert len(log.routines) > 0
+
+    def test_deterministic_given_seed(self):
+        config = HouseholdConfig(duration_s=600.0, seed=42)
+        a = Household(["SP10"], config).simulate().trace
+        b = Household(["SP10"], HouseholdConfig(duration_s=600.0, seed=42)).simulate().trace
+        assert a.packets == b.packets
+
+    def test_dns_resolves_cloud_traffic(self, small_household_result):
+        result = small_household_result
+        resolved = sum(
+            1 for p in result.trace if result.cloud.dns.domain_for(p.remote_ip) is not None
+        )
+        assert resolved / len(result.trace) > 0.95
+
+
+class TestPredictabilityShape:
+    """Fig 2's qualitative structure must hold on the simulated testbed."""
+
+    @pytest.fixture(scope="class")
+    def report(self, small_household_result):
+        return analyze_trace(small_household_result.trace, FlowDefinition.PORTLESS)
+
+    def test_control_highly_predictable(self, report):
+        for device, entry in report.devices.items():
+            fraction = entry.class_fraction(TrafficClass.CONTROL)
+            assert fraction is not None and fraction > 0.9, device
+
+    def test_plug_commands_fully_unpredictable(self, report):
+        entry = report.devices["SP10"]
+        assert entry.class_fraction(TrafficClass.MANUAL) == 0.0
+        automated = entry.class_fraction(TrafficClass.AUTOMATED)
+        assert automated is None or automated == 0.0
+
+    def test_camera_manual_mostly_stream(self, report):
+        fraction = report.devices["WyzeCam"].class_fraction(TrafficClass.MANUAL)
+        assert fraction is not None and 0.4 < fraction < 0.9
+
+    def test_manual_least_predictable_for_speaker(self, report):
+        entry = report.devices["EchoDot4"]
+        control = entry.class_fraction(TrafficClass.CONTROL)
+        manual = entry.class_fraction(TrafficClass.MANUAL)
+        assert manual is not None and control is not None and manual < control
+
+
+class TestGeneratedEvents:
+    def test_counts(self, echodot_events):
+        from repro.features import event_labels
+
+        labels = list(event_labels(echodot_events))
+        assert labels.count("manual") == 40
+        assert labels.count("automated") >= 50  # confusion may flip a few
+        assert labels.count("control") >= 50
+
+    def test_events_never_merge(self, echodot_events):
+        # 30-second spacing >> 5-second grouping gap.
+        for earlier, later in zip(echodot_events, echodot_events[1:]):
+            assert later.start - earlier.end > 5.0
+
+    def test_event_packets_are_unpredictable(self, echodot_events):
+        from repro.net import Trace
+
+        packets = [p for event in echodot_events for p in event]
+        labels = label_predictable(Trace(packets))
+        assert sum(labels) / len(labels) < 0.25
+
+    def test_deterministic(self):
+        a = generate_labeled_events("SP10", n_manual=5, n_automated=5, n_control=5, seed=3)
+        b = generate_labeled_events("SP10", n_manual=5, n_automated=5, n_control=5, seed=3)
+        assert [p for e in a for p in e] == [p for e in b for p in e]
+
+    def test_plug_rule_sizes_present(self):
+        events = generate_labeled_events("SP10", n_manual=10, n_automated=10, n_control=0, seed=1)
+        manual = [e for e in events if e.majority_class() is TrafficClass.MANUAL]
+        assert all(e.packets[0].size == 235 for e in manual)

@@ -1,0 +1,83 @@
+"""Unit tests for the phone model and attacker models."""
+
+import numpy as np
+import pytest
+
+from repro.net import TrafficClass
+from repro.testbed import (
+    APP_PACKAGES,
+    AccountCompromiseAttack,
+    BruteForceAttack,
+    CloudDirectory,
+    Location,
+    Phone,
+    ReplayAttack,
+    SpywareSyncAttack,
+)
+
+
+class TestPhone:
+    def test_interaction_has_app_package(self):
+        phone = Phone(seed=0)
+        interaction = phone.interact("Nest-E", start=10.0)
+        assert interaction.app_package == APP_PACKAGES["Nest-E"]
+
+    def test_unknown_device_gets_fallback_package(self):
+        interaction = Phone(seed=0).interact("Mystery", start=0.0)
+        assert "mystery" in interaction.app_package
+
+    def test_human_flag_controls_motion(self):
+        phone = Phone(seed=0)
+        human = phone.interact("SP10", 0.0, human=True, intensity=1.0)
+        robot = phone.interact("SP10", 0.0, human=False)
+        assert human.sensor_window[:, 3:6].std() > robot.sensor_window[:, 3:6].std()
+
+    def test_sensor_window_shape(self):
+        interaction = Phone(seed=0).interact("SP10", 0.0)
+        assert interaction.sensor_window.shape[1] == 6
+
+
+@pytest.fixture
+def cloud():
+    return CloudDirectory(seed=9)
+
+
+class TestAttacks:
+    def test_account_compromise_emits_attack_class(self, cloud):
+        attack = AccountCompromiseAttack(cloud, Location.US, seed=1)
+        event = attack.launch("EchoDot4", start=100.0)
+        assert event.attack == "account-compromise"
+        assert all(p.traffic_class is TrafficClass.ATTACK for p in event.packets)
+        assert event.packets[0].timestamp == pytest.approx(100.0)
+
+    def test_spyware_sync_flag(self, cloud):
+        attack = SpywareSyncAttack(cloud, Location.US, seed=1)
+        event = attack.launch("EchoDot4", start=0.0)
+        assert event.synchronized_with_user
+        assert event.attack == "spyware-sync"
+
+    def test_replay_attack_carries_wire(self, cloud):
+        attack = ReplayAttack(cloud, Location.US, seed=1)
+        event = attack.launch_with_wire("SP10", 0.0, captured_wire=b"old-bytes")
+        assert event.replayed_wire == b"old-bytes"
+
+    def test_brute_force_burst_spacing(self, cloud):
+        attack = BruteForceAttack(cloud, Location.US, seed=1)
+        events = attack.launch_burst("SP10", start=0.0, attempts=5, gap_s=20.0)
+        assert len(events) == 5
+        starts = [e.start for e in events]
+        assert starts == [0.0, 20.0, 40.0, 60.0, 80.0]
+
+    def test_brute_force_validates_attempts(self, cloud):
+        with pytest.raises(ValueError):
+            BruteForceAttack(cloud).launch_burst("SP10", 0.0, attempts=0)
+
+    def test_attack_mimics_manual_shape(self, cloud):
+        """Attack traffic is rendered from the device's manual templates."""
+        attack = AccountCompromiseAttack(cloud, Location.US, seed=1)
+        event = attack.launch("SP10", start=0.0)
+        # SP10 commands are exactly the 2-packet notification with the
+        # distinctive 235 B first packet — an attacker's command looks
+        # identical on the wire.
+        assert len(event.packets) == 2
+        assert event.packets[0].size == 235

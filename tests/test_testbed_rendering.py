@@ -1,0 +1,116 @@
+"""Distribution-level tests of the testbed's traffic rendering internals."""
+
+import numpy as np
+import pytest
+
+from repro.net import Direction, TrafficClass
+from repro.testbed import CloudDirectory, Location, profile_for
+from repro.testbed.household import _render_burst, _render_stream, render_event
+
+
+@pytest.fixture
+def cloud():
+    return CloudDirectory(seed=3)
+
+
+def _endpoints(cloud, profile, template):
+    return {s: cloud.endpoint(profile.vendor, s, Location.US) for s in template.services()}
+
+
+def _render_many(profile, template, cloud, n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    endpoints = _endpoints(cloud, profile, template)
+    events = []
+    t = 0.0
+    for _ in range(n):
+        packets = render_event(
+            profile, template, t, TrafficClass.MANUAL, "192.168.1.10", endpoints, rng
+        )
+        events.append(packets)
+        t += 100.0
+    return events
+
+
+class TestEventRendering:
+    def test_n_packets_within_template_range(self, cloud):
+        profile = profile_for("EchoDot4")
+        events = _render_many(profile, profile.manual, cloud, n=100)
+        lo, hi = profile.manual.n_packets
+        assert all(lo <= len(e) <= hi for e in events)
+
+    def test_first_inbound_probability(self, cloud):
+        profile = profile_for("EchoDot4")
+        events = _render_many(profile, profile.manual, cloud, n=400)
+        inbound = np.mean([e[0].direction is Direction.INBOUND for e in events])
+        assert abs(inbound - profile.manual.first_inbound_prob) < 0.06
+
+    def test_wyzecam_udp_opener(self, cloud):
+        profile = profile_for("WyzeCam")
+        events = _render_many(profile, profile.manual, cloud, n=300)
+        udp_first = np.mean([e[0].protocol == "udp" for e in events])
+        assert abs(udp_first - profile.manual.first_udp_prob) < 0.07
+
+    def test_bimodal_sizes(self, cloud):
+        profile = profile_for("EchoDot4")
+        events = _render_many(profile, profile.manual, cloud, n=200)
+        sizes = np.array([p.size for e in events for p in e])
+        big = np.mean(sizes > 550)
+        assert abs(big - profile.manual.size_big_prob) < 0.08
+
+    def test_port_marker_mixture(self, cloud):
+        profile = profile_for("EchoDot4")
+        events = _render_many(profile, profile.manual, cloud, n=200)
+        high = np.mean([p.remote_port == 8883 for e in events for p in e])
+        assert abs(high - profile.manual.port_high_prob) < 0.08
+
+    def test_udp_packets_carry_no_tls(self, cloud):
+        profile = profile_for("WyzeCam")
+        events = _render_many(profile, profile.manual, cloud, n=100)
+        for event in events:
+            for packet in event:
+                if packet.protocol == "udp":
+                    assert packet.tls_version == 0
+                    assert packet.tcp_flags == 0
+
+    def test_fixed_first_size_devices(self, cloud):
+        profile = profile_for("WP3")
+        events = _render_many(profile, profile.manual, cloud, n=50)
+        assert all(e[0].size == profile.simple_rule_size for e in events)
+
+    def test_remote_ips_drawn_from_pool(self, cloud):
+        profile = profile_for("EchoDot4")
+        events = _render_many(profile, profile.manual, cloud, n=150)
+        relay = cloud.endpoint(profile.vendor, "relay", Location.US)
+        observed = {
+            p.remote_ip for e in events for p in e if p.remote_port == relay.port
+        }
+        assert observed <= set(relay.ips)
+        assert len(observed) > 3  # rotation across events
+
+
+class TestBurstAndStream:
+    def test_burst_constant_size_and_pace(self, cloud):
+        profile = profile_for("EchoDot4")
+        burst = profile.automated_burst
+        endpoint = cloud.endpoint(profile.vendor, burst.service, Location.US)
+        packets = _render_burst(
+            profile, burst, 0.0, TrafficClass.AUTOMATED, "192.168.1.10",
+            endpoint, np.random.default_rng(0),
+        )
+        assert len(packets) == burst.n_packets
+        assert len({p.size for p in packets}) == 1
+        diffs = np.diff([p.timestamp for p in packets])
+        assert np.allclose(diffs, burst.iat_s, atol=0.05)
+
+    def test_stream_rate(self, cloud):
+        profile = profile_for("WyzeCam")
+        stream = profile.manual_stream
+        endpoint = cloud.endpoint(profile.vendor, stream.service, Location.US)
+        packets = _render_stream(
+            profile, stream, 0.0, "192.168.1.10", endpoint, np.random.default_rng(0)
+        )
+        duration = packets[-1].timestamp - packets[0].timestamp
+        rate = (len(packets) - 1) / duration
+        assert rate == pytest.approx(stream.rate_pps, rel=0.1)
+        assert all(p.direction is Direction.OUTBOUND for p in packets)
+        assert all(p.traffic_class is TrafficClass.MANUAL for p in packets)

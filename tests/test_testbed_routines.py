@@ -1,0 +1,148 @@
+"""Unit tests for the IFTTT-style routine engine."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.routines import (
+    DAY_SECONDS,
+    ChainTrigger,
+    DailyTrigger,
+    JitteredDailyTrigger,
+    PeriodicTrigger,
+    Routine,
+    RoutineSchedule,
+)
+
+
+class TestTriggers:
+    def test_periodic(self, rng):
+        times = PeriodicTrigger(period_s=100.0, phase_s=10.0).firings(350.0, rng)
+        assert times == [10.0, 110.0, 210.0, 310.0]
+
+    def test_periodic_invalid(self, rng):
+        with pytest.raises(ValueError):
+            PeriodicTrigger(period_s=0.0).firings(100.0, rng)
+
+    def test_daily(self, rng):
+        times = DailyTrigger(time_of_day_s=3600.0).firings(3 * DAY_SECONDS, rng)
+        assert times == [3600.0, 3600.0 + DAY_SECONDS, 3600.0 + 2 * DAY_SECONDS]
+
+    def test_daily_invalid(self, rng):
+        with pytest.raises(ValueError):
+            DailyTrigger(time_of_day_s=DAY_SECONDS + 1).firings(100.0, rng)
+
+    def test_jittered_daily_drifts(self, rng):
+        times = JitteredDailyTrigger(time_of_day_s=64800.0, jitter_s=900.0).firings(
+            5 * DAY_SECONDS, rng
+        )
+        diffs = np.diff(times)
+        # never exactly one day apart
+        assert not np.any(np.isclose(diffs, DAY_SECONDS, atol=1.0))
+        # but always within the jitter envelope
+        assert np.all(np.abs(diffs - DAY_SECONDS) <= 1800.0)
+
+
+class TestSchedule:
+    def _schedule(self):
+        return RoutineSchedule(
+            [
+                Routine("heat-at-6", "Nest-E", DailyTrigger(64800.0)),
+                Routine("camera-on", "WyzeCam", PeriodicTrigger(period_s=DAY_SECONDS / 2)),
+                Routine("upload-clip", "WyzeCam", ChainTrigger(after="camera-on", delay_s=30.0)),
+            ]
+        )
+
+    def test_expand_per_device(self):
+        plan = self._schedule().expand(2 * DAY_SECONDS, seed=0)
+        assert set(plan) == {"Nest-E", "WyzeCam"}
+        names = [name for name, _ in plan["WyzeCam"]]
+        assert "camera-on" in names and "upload-clip" in names
+
+    def test_chain_fires_after_anchor(self):
+        plan = self._schedule().expand(2 * DAY_SECONDS, seed=0)
+        by_name = {}
+        for name, t in plan["WyzeCam"]:
+            by_name.setdefault(name, []).append(t)
+        for anchor_t, chain_t in zip(by_name["camera-on"], by_name["upload-clip"]):
+            assert chain_t == pytest.approx(anchor_t + 30.0)
+
+    def test_sorted_within_device(self):
+        plan = self._schedule().expand(3 * DAY_SECONDS, seed=0)
+        for device, entries in plan.items():
+            times = [t for _, t in entries]
+            assert times == sorted(times)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            RoutineSchedule(
+                [
+                    Routine("x", "a", PeriodicTrigger(10.0)),
+                    Routine("x", "b", PeriodicTrigger(10.0)),
+                ]
+            )
+
+    def test_chain_to_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            RoutineSchedule([Routine("c", "a", ChainTrigger(after="ghost"))])
+
+    def test_chain_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            RoutineSchedule(
+                [
+                    Routine("a", "d", ChainTrigger(after="b")),
+                    Routine("b", "d", ChainTrigger(after="a")),
+                ]
+            )
+
+
+class TestHouseholdIntegration:
+    def test_schedule_drives_automations(self):
+        from dataclasses import replace
+
+        from repro.net import TrafficClass
+        from repro.testbed import Household, HouseholdConfig
+
+        schedule = RoutineSchedule(
+            [
+                Routine("morning", "Nest-E", DailyTrigger(600.0)),
+                Routine("evening", "Nest-E", DailyTrigger(1800.0)),
+            ]
+        )
+        household = Household(
+            ["Nest-E"],
+            HouseholdConfig(duration_s=2 * DAY_SECONDS, seed=2,
+                            manual_interval_s=(1e12, 2e12)),
+            routine_schedule=schedule,
+        )
+        # strip heavy control flows to keep the test fast
+        household.profiles[0] = replace(
+            household.profiles[0], control_flows=(), control_noise_per_hour=0.0
+        )
+        result = household.simulate()
+        assert len(result.log.routines) == 4  # 2 routines x 2 days
+        fired_at = sorted(r.timestamp for r in result.log.routines)
+        assert fired_at == [600.0, 1800.0, 600.0 + DAY_SECONDS, 1800.0 + DAY_SECONDS]
+        automated = [p for p in result.trace if p.traffic_class is TrafficClass.AUTOMATED]
+        assert automated
+
+
+class TestScheduleRepetition:
+    def test_daily_routine_fully_repetitive(self):
+        schedule = RoutineSchedule([Routine("r", "d", DailyTrigger(3600.0))])
+        assert schedule.interval_repetition("r", 10 * DAY_SECONDS) == 1.0
+
+    def test_sunset_routine_unpredictable(self):
+        """The §3.2 rationale: dynamic routines never repeat intervals."""
+        schedule = RoutineSchedule(
+            [Routine("sunset", "d", JitteredDailyTrigger(64800.0, jitter_s=900.0))]
+        )
+        assert schedule.interval_repetition("sunset", 14 * DAY_SECONDS) < 0.3
+
+    def test_chained_inherits_anchor_repetition(self):
+        schedule = RoutineSchedule(
+            [
+                Routine("anchor", "d", DailyTrigger(3600.0)),
+                Routine("chained", "d", ChainTrigger(after="anchor", delay_s=30.0)),
+            ]
+        )
+        assert schedule.interval_repetition("chained", 10 * DAY_SECONDS) == 1.0

@@ -1,0 +1,66 @@
+"""Tests for the figure-data exporters."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.net import FlowDefinition, Trace
+from repro.viz import fig1a_flow_series, fig1b_cdf_series, fig1c_interval_cdf, fig2_bars, write_csv
+from tests.conftest import make_packet
+
+
+class TestFig1a:
+    def test_series_structure(self, periodic_trace):
+        series = fig1a_flow_series(periodic_trace, min_packets=5)
+        assert len(series) == 1
+        record = series[0]
+        assert len(record["timestamps"]) == 10
+        assert record["predictable_share"] == 1.0
+        assert "B" in record["flow"]
+
+    def test_min_packets_filter(self, periodic_trace):
+        noisy = periodic_trace.merge(Trace([make_packet(timestamp=3.0, size=999)]))
+        series = fig1a_flow_series(noisy, min_packets=5)
+        assert len(series) == 1  # singleton flow filtered out
+
+    def test_sorted_by_count(self, small_household_result):
+        series = fig1a_flow_series(small_household_result.trace, min_packets=5)
+        counts = [len(r["timestamps"]) for r in series]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestCdfSeries:
+    def test_fig1b_shapes(self, small_household_result):
+        x, y = fig1b_cdf_series(small_household_result.trace)
+        assert len(x) == len(y) == len(small_household_result.trace.devices())
+        assert np.all((0 <= x) & (x <= 1))
+
+    def test_fig1c_positive_intervals(self, small_household_result):
+        x, y = fig1c_interval_cdf(small_household_result.trace)
+        assert np.all(x > 0)
+        assert len(x) > 0
+
+
+class TestFig2Bars:
+    def test_bars_per_device(self, small_household_result):
+        bars = fig2_bars(small_household_result.trace)
+        devices = [b["device"] for b in bars]
+        assert devices == sorted(devices)
+        for bar in bars:
+            assert 0.0 <= bar["overall"] <= 1.0
+            assert bar["control"] is not None
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        n = write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        assert n == 2
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_empty(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        assert write_csv(path, ["x"], []) == 0
