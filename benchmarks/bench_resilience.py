@@ -1,0 +1,165 @@
+"""Resilience: FIAT accuracy and time-to-validation under injected faults.
+
+The paper evaluates FIAT on a clean testbed; a production deployment
+(ROADMAP north star) must keep its guarantees when the home network and
+the proxy's components misbehave.  This bench sweeps two fault axes with
+the seeded `repro.faults` subsystem:
+
+* **proof-loss rate** (0 → 50 %): the app's acknowledgement-driven
+  retransmission must recover nearly all manual-event authorizations,
+  paying with time-to-validation (extra RTOs);
+* **validation-service outage duration**: the proxy must fail closed for
+  manual events while the service is down (no unauthenticated manual
+  traffic), emit health alerts, and recover automatically once the
+  circuit breaker's probe succeeds.
+
+Run with ``pytest -s`` to see the tables.
+"""
+
+import numpy as np
+
+from repro.core import FiatConfig, FiatSystem
+from repro.faults import FaultPlan, OutageWindow
+
+from benchmarks._helpers import print_table
+
+#: Rule devices need no ML training: system construction stays cheap and
+#: the event classifier is exact, isolating the fault axes under study.
+DEVICES = ["SP10", "WP3"]
+
+
+def _fresh_system(**config_kwargs):
+    config = FiatConfig(bootstrap_s=0.0, **config_kwargs)
+    return FiatSystem(DEVICES, config=config, seed=0)
+
+
+def _manual_decisions(system):
+    return [
+        d for d in system.proxy.decisions if d.event_id and "-manual-" in d.event_id
+    ]
+
+
+def _authorized(decisions):
+    return sum(not d.blocked for d in decisions)
+
+
+def test_resilience_proof_loss_sweep(benchmark):
+    """Accuracy + time-to-validation as a function of proof-loss rate."""
+    loss_rates = [0.0, 0.1, 0.3, 0.5]
+    systems = {}
+
+    def run(loss):
+        system = _fresh_system()
+        system.run_accuracy(
+            n_manual=40, n_non_manual=20, n_attacks=10,
+            faults=FaultPlan(seed=7, loss_rate=loss),
+        )
+        return system
+
+    for loss in loss_rates:
+        if loss == 0.3:
+            systems[loss] = benchmark.pedantic(lambda: run(0.3), rounds=1, iterations=1)
+        else:
+            systems[loss] = run(loss)
+
+    baseline = _authorized(_manual_decisions(systems[0.0]))
+    rows = []
+    for loss in loss_rates:
+        system = systems[loss]
+        manual = _manual_decisions(system)
+        ttv = [r.time_to_validation_ms for r in system.auth_reports
+               if r.time_to_validation_ms is not None]
+        attempts = [r.n_attempts for r in system.auth_reports]
+        rows.append(
+            (
+                f"{loss:.0%}",
+                f"{_authorized(manual)}/{len(manual)}",
+                f"{_authorized(manual) / baseline:.1%}" if baseline else "n/a",
+                f"{np.mean(attempts):.2f}",
+                f"{np.mean(ttv):.0f}",
+                f"{np.percentile(ttv, 95):.0f}",
+            )
+        )
+    print_table(
+        "Resilience — retransmission vs proof loss "
+        "(ack-driven, exponential backoff + jitter)",
+        ("loss", "manual authorized", "vs lossless", "mean attempts",
+         "ttv mean ms", "ttv p95 ms"),
+        rows,
+    )
+
+    # Acceptance: 30 % loss recovers >= 95 % of the lossless authorizations.
+    recovered = _authorized(_manual_decisions(systems[0.3]))
+    assert recovered >= 0.95 * baseline
+    # Retransmission is doing the work: attempts and latency grow with loss.
+    mean_attempts = {
+        loss: np.mean([r.n_attempts for r in systems[loss].auth_reports])
+        for loss in loss_rates
+    }
+    assert mean_attempts[0.0] == 1.0
+    assert mean_attempts[0.1] < mean_attempts[0.3] < mean_attempts[0.5]
+    # Determinism: an identical plan reproduces byte-identical decisions.
+    assert run(0.3).proxy.decision_log() == systems[0.3].proxy.decision_log()
+
+
+def test_resilience_validation_outage_sweep(benchmark):
+    """Degraded-mode proxy vs validation-service outage duration."""
+    outage_start = 200.0
+    durations = [60.0, 180.0, 360.0]
+    recovery_s = 20.0
+
+    def run(duration):
+        system = _fresh_system(breaker_recovery_s=recovery_s)
+        plan = FaultPlan(
+            seed=1,
+            outages=(OutageWindow("validation", outage_start, outage_start + duration),),
+        )
+        system.run_accuracy(n_manual=40, n_non_manual=10, n_attacks=0, faults=plan)
+        return system
+
+    systems = {}
+    for duration in durations:
+        if duration == 180.0:
+            systems[duration] = benchmark.pedantic(
+                lambda: run(180.0), rounds=1, iterations=1
+            )
+        else:
+            systems[duration] = run(duration)
+
+    rows = []
+    for duration in durations:
+        system = systems[duration]
+        end = outage_start + duration
+        manual = _manual_decisions(system)
+        during = [d for d in manual if outage_start <= d.start < end]
+        after = [d for d in manual if d.start >= end + recovery_s * 2]
+        health = [a for a in system.proxy.alerts if a.kind == "health"]
+        recovered_alerts = [a for a in health if "recovered" in a.reason]
+        recovery_at = min((a.timestamp for a in recovered_alerts), default=float("nan"))
+        rows.append(
+            (
+                f"{duration:.0f}s",
+                f"{sum(d.blocked for d in during)}/{len(during)}",
+                f"{_authorized(after)}/{len(after)}",
+                len(health),
+                f"{recovery_at - end:.1f}s" if recovered_alerts else "n/a",
+            )
+        )
+        # Fail-closed: every manual event during the outage is dropped and
+        # marked degraded; traffic recovers automatically afterwards.
+        assert during and all(d.blocked for d in during)
+        assert all(d.degraded == "validation-outage:fail-closed" for d in during)
+        assert after and all(not d.blocked for d in after)
+        assert any("circuit opened" in a.reason for a in health)
+        assert recovered_alerts
+        # Degraded drops are health events, not brute-force evidence.
+        for device in DEVICES:
+            assert not system.proxy.is_locked(device)
+
+    print_table(
+        "Resilience — validation-service outage (fail-closed + breaker probes, "
+        f"recovery timeout {recovery_s:.0f}s)",
+        ("outage", "blocked during", "authorized after", "health alerts",
+         "recovery lag"),
+        rows,
+    )

@@ -12,7 +12,7 @@ from .analysis import (
 )
 from .classifier import EventClassifier, SimpleRuleClassifier, train_event_classifier
 from .identification import IDENTIFICATION_FEATURES, DeviceIdentifier, device_fingerprint
-from .client import AuthAttempt, FiatApp
+from .client import AuthAttempt, FiatApp, ReliableAuthReport, RetryPolicy
 from .config import FiatConfig
 from .latency import (
     LAN_SCENARIO,
@@ -52,6 +52,8 @@ __all__ = [
     "ValidatedInteraction",
     "FiatApp",
     "AuthAttempt",
+    "RetryPolicy",
+    "ReliableAuthReport",
     "FiatProxy",
     "EventDecision",
     "Alert",

@@ -14,18 +14,19 @@ connection latency from :mod:`repro.quic.transport`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..crypto.keystore import SecureKeystore
+from ..faults.link import FaultyLink
 from ..features.sensor_features import sensor_features
 from ..quic.channel import AuthChannel
 from ..quic.transport import NetworkPath, Transport
 from ..testbed.phone import ManualInteraction
 
-__all__ = ["AuthAttempt", "FiatApp"]
+__all__ = ["AuthAttempt", "RetryPolicy", "ReliableAuthReport", "FiatApp"]
 
 
 @dataclass
@@ -49,6 +50,66 @@ class AuthAttempt:
             self.components["app_detection"]
             + self.components["secure_storage"]
             + self.components["transport"]
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission policy of the FIAT app's reliable proof delivery.
+
+    Acknowledgement-driven: the app retransmits the *same* signed proof
+    on an exponentially backed-off, jittered schedule until the proxy
+    acknowledges or the delivery deadline passes.
+    """
+
+    initial_rto_ms: float = 120.0
+    backoff: float = 2.0
+    max_rto_ms: float = 1500.0
+    jitter_ms: float = 40.0
+    deadline_ms: float = 4000.0
+
+    def __post_init__(self) -> None:
+        if self.initial_rto_ms <= 0 or self.backoff < 1.0:
+            raise ValueError("initial_rto_ms must be > 0 and backoff >= 1")
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        """Build from the ``retry_*`` knobs of a :class:`FiatConfig`."""
+        return cls(
+            initial_rto_ms=config.retry_initial_rto_ms,
+            backoff=config.retry_backoff,
+            max_rto_ms=config.retry_max_rto_ms,
+            jitter_ms=config.retry_jitter_ms,
+            deadline_ms=config.retry_deadline_ms,
+        )
+
+
+@dataclass
+class ReliableAuthReport:
+    """Sender-side outcome of one reliable proof delivery."""
+
+    acked: bool
+    n_attempts: int
+    first_sent_at: float
+    acked_at: Optional[float]
+    #: milliseconds per component of the first attempt (Table 7 rows)
+    components: Dict[str, float] = field(default_factory=dict)
+    #: simulated send time of every (re)transmission
+    attempt_times: List[float] = field(default_factory=list)
+
+    @property
+    def time_to_validation_ms(self) -> Optional[float]:
+        """Client latency until the proof was acknowledged, or ``None``.
+
+        Includes retransmission delay: app detection + secure storage
+        plus the wall time from first send to the accepted arrival.
+        """
+        if not self.acked or self.acked_at is None:
+            return None
+        return (
+            self.components.get("app_detection", 0.0)
+            + self.components.get("secure_storage", 0.0)
+            + (self.acked_at - self.first_sent_at) * 1000.0
         )
 
 
@@ -93,3 +154,64 @@ class FiatApp:
         delivery = self.channel.send(interaction.app_package, features.tolist(), now)
         components["transport"] = delivery.latency_ms
         return AuthAttempt(wire=delivery.wire, sent_at=now, components=components)
+
+    def authenticate_reliable(
+        self,
+        interaction: ManualInteraction,
+        now: float,
+        link: FaultyLink,
+        deliver: Callable[[bytes, float], bool],
+        policy: Optional[RetryPolicy] = None,
+    ) -> ReliableAuthReport:
+        """Deliver a humanness proof over a faulty link with retransmission.
+
+        Signs the proof once and retransmits the identical wire bytes on
+        an exponential-backoff + jitter schedule until ``deliver`` (the
+        proxy's receive path; ``True`` = registered, i.e. accepted or
+        absorbed as an already-registered replay) acknowledges and the
+        ack survives the return path, or the delivery deadline passes.
+        Every copy the link produces — duplicates included — is handed
+        to ``deliver`` at its arrival time.
+        """
+        policy = policy or RetryPolicy()
+        components = {
+            "app_detection": self._component_ms(75.0, 9.0),
+            "sensor_sampling": self._component_ms(250.0, 7.0),
+            "secure_storage": self._component_ms(50.0, 4.0),
+            "ml_validation": self._component_ms(2.3, 0.3),
+        }
+        features = sensor_features(interaction.sensor_window)
+        wire = self.channel.prepare(interaction.app_package, features.tolist(), now)
+
+        deadline = now + policy.deadline_ms / 1000.0
+        rto_ms = policy.initial_rto_ms
+        send_at = now
+        attempt_times: List[float] = []
+        acked = False
+        acked_at: Optional[float] = None
+        while True:
+            attempt_times.append(send_at)
+            latency_ms = self.channel.sample_latency()
+            if len(attempt_times) == 1:
+                components["transport"] = latency_ms
+            registered_at: Optional[float] = None
+            for copy in link.transmit(wire, send_at, latency_ms=latency_ms):
+                if deliver(copy.wire, copy.arrive_at) and registered_at is None:
+                    registered_at = copy.arrive_at
+            if registered_at is not None and not link.ack_lost():
+                acked = True
+                acked_at = registered_at
+                break
+            next_at = send_at + (rto_ms + link.retry_jitter_ms(policy.jitter_ms)) / 1000.0
+            rto_ms = min(rto_ms * policy.backoff, policy.max_rto_ms)
+            if next_at > deadline:
+                break
+            send_at = next_at
+        return ReliableAuthReport(
+            acked=acked,
+            n_attempts=len(attempt_times),
+            first_sent_at=now,
+            acked_at=acked_at,
+            components=components,
+            attempt_times=attempt_times,
+        )

@@ -45,3 +45,45 @@ class FiatConfig:
     #: Drift adaptation: expire rules unused for this long (``None`` =
     #: never expire).
     rule_ttl_s: "float | None" = None
+
+    # -- resilience: proof retransmission (ack-driven, exponential backoff) --
+    #: Initial retransmission timeout of the FIAT app, milliseconds.
+    retry_initial_rto_ms: float = 120.0
+    #: Multiplicative backoff applied to the RTO after each miss.
+    retry_backoff: float = 2.0
+    #: Upper bound on the RTO, milliseconds.
+    retry_max_rto_ms: float = 1500.0
+    #: Maximum uniform jitter added to each backoff step, milliseconds.
+    retry_jitter_ms: float = 40.0
+    #: Delivery deadline: the app gives up retransmitting a proof this
+    #: many milliseconds after the first send.
+    retry_deadline_ms: float = 4000.0
+
+    # -- resilience: circuit breakers + degraded-mode policy ------------------
+    #: Consecutive component failures before a circuit breaker opens.
+    breaker_failure_threshold: int = 3
+    #: Seconds an open breaker waits before sending a recovery probe.
+    breaker_recovery_s: float = 60.0
+    #: Proxy policy while the validation service is down: ``fail-closed``
+    #: drops manual events (no unauthenticated manual traffic — the safe
+    #: default), ``fail-open`` allows them (availability over security).
+    validation_outage_policy: str = "fail-closed"
+    #: Proxy policy while a device's classifier is broken and only the
+    #: predictability rules remain: ``assume-manual`` treats every
+    #: unpredictable event as manual-shaped (requires a humanness proof),
+    #: ``allow`` waves unpredictable events through unclassified.
+    classifier_fallback: str = "assume-manual"
+    #: Hard cap on the validation service's interaction registry.
+    max_validated_interactions: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.validation_outage_policy not in ("fail-closed", "fail-open"):
+            raise ValueError(
+                f"validation_outage_policy must be 'fail-closed' or 'fail-open', "
+                f"got {self.validation_outage_policy!r}"
+            )
+        if self.classifier_fallback not in ("assume-manual", "allow"):
+            raise ValueError(
+                f"classifier_fallback must be 'assume-manual' or 'allow', "
+                f"got {self.classifier_fallback!r}"
+            )

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..crypto.keystore import pair
 from ..events.grouping import UnpredictableEvent
+from ..faults import FaultPlan, FaultyLink, FlakyClassifier, FlakyValidationService
 from ..net.packet import TrafficClass
 from ..quic.transport import Transport
 from ..testbed.cloud import CloudDirectory, Location
@@ -28,7 +29,7 @@ from ..testbed.household import generate_labeled_events, render_event
 from ..testbed.phone import APP_PACKAGES, Phone
 from ..sensors.humanness import HumannessValidator
 from .classifier import train_event_classifier
-from .client import FiatApp
+from .client import FiatApp, ReliableAuthReport, RetryPolicy
 from .config import FiatConfig
 from .latency import LAN_SCENARIO, Scenario
 from .proxy import FiatProxy
@@ -95,6 +96,7 @@ class FiatSystem:
             validator=HumannessValidator(seed=seed + 4).fit(),
             validity_s=self.config.human_validity_s,
             freshness_s=self.config.channel_freshness_s,
+            max_interactions=self.config.max_validated_interactions,
         )
 
         # Per-device classifiers, trained as deployed (§6 footnote 2).
@@ -125,6 +127,49 @@ class FiatSystem:
         )
         #: humanness-validation confusion accumulated during experiments
         self.human_confusion = {"tp": 0, "fn": 0, "tn": 0, "fp": 0}
+        #: fault injection (installed by :meth:`install_faults`)
+        self._fault_plan: Optional[FaultPlan] = None
+        self._fault_link: Optional[FaultyLink] = None
+        self._sensor_rng: Optional[np.random.Generator] = None
+        self._last_registered = None
+        #: per-proof delivery reports when running under a fault plan
+        self.auth_reports: List[ReliableAuthReport] = []
+
+    # -- fault injection -------------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Route the deployment through a fault plan.
+
+        Wraps the auth channel in a :class:`~repro.faults.FaultyLink`,
+        the per-device classifiers and the validation service in outage
+        injectors, and seeds the sensor-dropout stream.  Proof delivery
+        switches to the app's acknowledgement-driven retransmission.
+        """
+        self._fault_plan = plan
+        self._fault_link = FaultyLink(plan)
+        self._sensor_rng = plan.stream("sensor")
+        self.proxy.validation = FlakyValidationService(self.validation, plan)
+        self.proxy.classifiers = {
+            name: FlakyClassifier(classifier, plan)
+            for name, classifier in self.classifiers.items()
+        }
+
+    def _deliver_wire(self, wire: bytes, arrive_at: float) -> bool:
+        """Deliver one proof copy to the proxy; ``True`` = registered.
+
+        A replay rejection also counts as registered — it means an
+        earlier copy of the same proof already landed, so the sender's
+        retransmission loop can stop (the ack for the original was
+        lost, not the proof).
+        """
+        assert self._fault_link is not None
+        receiver_now = self._fault_link.receiver_clock(arrive_at)
+        before = len(self.validation.receiver.rejections)
+        result = self.proxy.receive_auth(wire, receiver_now)
+        if result is not None:
+            self._last_registered = result
+            return True
+        return "replay" in self.validation.receiver.rejections[before:]
 
     # -- experiment building blocks ------------------------------------------------
 
@@ -155,10 +200,35 @@ class FiatSystem:
         )
 
     def _send_proof(self, device: str, when: float, human: bool) -> None:
+        # Sensor dropout: the sensor service died mid-capture, so a
+        # genuine human interaction yields a still-phone window.
+        if human and self._fault_plan is not None:
+            plan = self._fault_plan
+            dropped = plan.is_down("sensor", when)
+            if self._sensor_rng is not None and plan.sensor_dropout_rate > 0.0:
+                dropped = dropped or float(self._sensor_rng.random()) < plan.sensor_dropout_rate
+            human = not dropped and human
         interaction = self.phone.interact(device, when, human=human)
-        attempt = self.app.authenticate(interaction, when)
-        self.proxy.receive_auth(attempt.wire, when + attempt.components["transport"] / 1000.0)
-        recorded = self.validation._interactions[-1] if self.validation._interactions else None
+
+        if self._fault_link is not None:
+            self._last_registered = None
+            report = self.app.authenticate_reliable(
+                interaction,
+                when,
+                link=self._fault_link,
+                deliver=self._deliver_wire,
+                policy=RetryPolicy.from_config(self.config),
+            )
+            self.auth_reports.append(report)
+            recorded = self._last_registered
+        else:
+            attempt = self.app.authenticate(interaction, when)
+            self.proxy.receive_auth(
+                attempt.wire, when + attempt.components["transport"] / 1000.0
+            )
+            recorded = (
+                self.validation._interactions[-1] if self.validation._interactions else None
+            )
         if recorded is not None:
             if human and recorded.human:
                 self.human_confusion["tp"] += 1
@@ -178,6 +248,7 @@ class FiatSystem:
         n_attacks: int = 50,
         attack_with_proof: float = 0.3,
         seed: int = 100,
+        faults: Optional[FaultPlan] = None,
     ) -> Dict[str, DeviceAccuracy]:
         """Run the Table-6 experiment for every device in the system.
 
@@ -192,7 +263,16 @@ class FiatSystem:
           (they can read sensors but not fake them, §5.1) — these
           exercise the validator's non-human recall; the rest send no
           proof at all.
+
+        ``faults`` installs a :class:`~repro.faults.FaultPlan` before the
+        run (see :meth:`install_faults`): proofs then travel over the
+        faulty link with acknowledgement-driven retransmission, and
+        component outages exercise the proxy's circuit breakers and
+        degraded-mode policies.  Identical seeds + identical plan
+        reproduce a byte-identical ``proxy.decision_log()``.
         """
+        if faults is not None:
+            self.install_faults(faults)
         rng = np.random.default_rng(seed)
         results: Dict[str, DeviceAccuracy] = {}
         t = self.config.bootstrap_s + 10.0

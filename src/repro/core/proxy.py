@@ -27,10 +27,12 @@ the proxy keeps logs of all unpredictable events and validations, which
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..events.grouping import UnpredictableEvent
+from ..faults.breaker import BreakerState, CircuitBreaker
 from ..net.dns import DnsTable
 from ..net.packet import Packet, TrafficClass
 from ..net.trace import Trace
@@ -56,6 +58,9 @@ class EventDecision:
     action: str  # "allow" | "drop"
     truth: str  # ground-truth class (evaluation only; unused by logic)
     event_id: Optional[str] = None
+    #: which degraded-mode policy produced this decision, if any
+    #: ("classifier-fallback:..." / "validation-outage:...")
+    degraded: Optional[str] = None
 
     @property
     def blocked(self) -> bool:
@@ -65,11 +70,13 @@ class EventDecision:
 
 @dataclass
 class Alert:
-    """A user-facing notification of a potential security breach."""
+    """A user-facing notification: a security breach or a health event."""
 
     device: str
     timestamp: float
     reason: str
+    #: "security" (potential breach) or "health" (component state change)
+    kind: str = "security"
 
 
 @dataclass
@@ -79,6 +86,7 @@ class _OpenEvent:
     allow: bool = True
     predicted_manual: bool = False
     human_backed: Optional[bool] = None
+    degraded: Optional[str] = None
 
     @property
     def last_time(self) -> float:
@@ -121,12 +129,78 @@ class FiatProxy:
         self.alerts: List[Alert] = []
         self.n_allowed = 0
         self.n_dropped = 0
+        #: circuit breakers guarding flaky components (lazily per device)
+        self._validation_breaker = CircuitBreaker(
+            "validation",
+            failure_threshold=config.breaker_failure_threshold,
+            recovery_timeout_s=config.breaker_recovery_s,
+        )
+        self._classifier_breakers: Dict[str, CircuitBreaker] = {}
+        #: operational health counters surfaced next to decisions/alerts
+        self.health: Dict[str, int] = {
+            "classifier_errors": 0,
+            "classifier_unavailable": 0,
+            "validation_errors": 0,
+            "validation_unavailable": 0,
+            "degraded_decisions": 0,
+            "auth_dropped_breaker_open": 0,
+        }
+
+    # -- circuit breakers ---------------------------------------------------------
+
+    @property
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """All breakers by component name (``validation``, ``classifier:X``)."""
+        named = {"validation": self._validation_breaker}
+        for device, breaker in self._classifier_breakers.items():
+            named[f"classifier:{device}"] = breaker
+        return named
+
+    def _breaker_for(self, device: str) -> CircuitBreaker:
+        breaker = self._classifier_breakers.get(device)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                f"classifier:{device}",
+                failure_threshold=self.config.breaker_failure_threshold,
+                recovery_timeout_s=self.config.breaker_recovery_s,
+            )
+            self._classifier_breakers[device] = breaker
+        return breaker
+
+    def _health_alert(self, device: str, now: float, reason: str) -> None:
+        self.alerts.append(Alert(device=device, timestamp=now, reason=reason, kind="health"))
+
+    def _validation_failed(self, now: float) -> None:
+        self.health["validation_errors"] += 1
+        if self._validation_breaker.record_failure(now):
+            self._health_alert("*", now, "validation-service circuit opened")
+
+    def _validation_succeeded(self, now: float) -> None:
+        if self._validation_breaker.record_success(now):
+            self._health_alert("*", now, "validation-service recovered (probe succeeded)")
 
     # -- auth channel -------------------------------------------------------------
 
-    def receive_auth(self, wire: bytes, now: float) -> None:
-        """Feed an authentication message from the FIAT app."""
-        self.validation.ingest(wire, now)
+    def receive_auth(self, wire: bytes, now: float):
+        """Feed an authentication message from the FIAT app.
+
+        Returns the registered
+        :class:`~repro.core.validation.ValidatedInteraction`, or ``None``
+        when the channel rejected the message or the validation service
+        is down (breaker open or the call failed).  The return value is
+        the proxy's acknowledgement: the app's reliable sender
+        retransmits until it sees one.
+        """
+        if not self._validation_breaker.allow_request(now):
+            self.health["auth_dropped_breaker_open"] += 1
+            return None
+        try:
+            result = self.validation.ingest(wire, now)
+        except Exception:
+            self._validation_failed(now)
+            return None
+        self._validation_succeeded(now)
+        return result
 
     # -- lockout ------------------------------------------------------------------
 
@@ -158,6 +232,57 @@ class FiatProxy:
             return 1
         return self.config.first_n_packets
 
+    def _classify_manual(self, device: str, classifier, prefix, now: float):
+        """Classify behind the device's circuit breaker.
+
+        Returns ``(manual, degraded)``: ``degraded`` is ``None`` for a
+        healthy classification, else the fallback policy applied.  With
+        the classifier broken only the predictability rules remain, so
+        the configurable fallback either treats every unpredictable
+        event as manual-shaped (``assume-manual``, needs a humanness
+        proof) or waves it through (``allow``).
+        """
+        breaker = self._breaker_for(device)
+        if breaker.allow_request(now):
+            try:
+                manual = bool(classifier.is_manual(prefix))
+            except Exception:
+                self.health["classifier_errors"] += 1
+                if breaker.record_failure(now):
+                    self._health_alert(device, now, "classifier circuit opened")
+            else:
+                if breaker.record_success(now):
+                    self._health_alert(
+                        device, now, "classifier recovered (probe succeeded)"
+                    )
+                return manual, None
+        else:
+            self.health["classifier_unavailable"] += 1
+        if self.config.classifier_fallback == "allow":
+            return False, "classifier-fallback:allow"
+        return True, "classifier-fallback:assume-manual"
+
+    def _human_backed(self, app: str, now: float):
+        """Query the validation service behind its circuit breaker.
+
+        Returns ``(human, degraded)``; when the service is down the
+        configured outage policy decides: ``fail-closed`` treats the
+        event as unbacked (drop), ``fail-open`` as backed (allow).
+        """
+        if self._validation_breaker.allow_request(now):
+            try:
+                human = bool(self.validation.has_recent_human(app, now))
+            except Exception:
+                self._validation_failed(now)
+            else:
+                self._validation_succeeded(now)
+                return human, None
+        else:
+            self.health["validation_unavailable"] += 1
+        if self.config.validation_outage_policy == "fail-open":
+            return True, "validation-outage:fail-open"
+        return False, "validation-outage:fail-closed"
+
     def _decide(self, device: str, event: _OpenEvent, now: float) -> None:
         classifier = self.classifiers.get(device)
         if classifier is None:
@@ -168,9 +293,10 @@ class FiatProxy:
             event.predicted_manual = False
             return
         prefix = event.packets[: self._decision_prefix(device)]
-        manual = classifier.is_manual(prefix)
+        manual, degraded = self._classify_manual(device, classifier, prefix, now)
         event.decided = True
         event.predicted_manual = manual
+        event.degraded = degraded
         if not manual:
             event.allow = True
             return
@@ -184,18 +310,33 @@ class FiatProxy:
             event.human_backed = None
             return
         app = self.app_for_device.get(device, "")
-        human = self.validation.has_recent_human(app, now)
+        human, human_degraded = self._human_backed(app, now)
+        if human_degraded is not None:
+            event.degraded = (
+                human_degraded if degraded is None else f"{degraded}+{human_degraded}"
+            )
         event.human_backed = human
         event.allow = human
         if not human:
-            self.alerts.append(
-                Alert(
-                    device=device,
-                    timestamp=now,
-                    reason="unverified manual traffic dropped",
+            if event.degraded is not None and "validation-outage" in event.degraded:
+                # Degraded drop: the proxy fails closed because it cannot
+                # check humanness — report as a health event and do not
+                # count it toward the brute-force lockout (it is not
+                # evidence of an attack).
+                self._health_alert(
+                    device,
+                    now,
+                    "manual event dropped: validation unavailable (fail-closed)",
                 )
-            )
-            self._record_violation(device, now)
+            else:
+                self.alerts.append(
+                    Alert(
+                        device=device,
+                        timestamp=now,
+                        reason="unverified manual traffic dropped",
+                    )
+                )
+                self._record_violation(device, now)
 
     def _close_event(self, device: str, event: _OpenEvent) -> None:
         if not event.packets:
@@ -204,6 +345,8 @@ class FiatProxy:
             self._decide(device, event, event.last_time)
         truth = UnpredictableEvent(packets=event.packets).majority_class()
         truth_label = "manual" if truth in (TrafficClass.MANUAL, TrafficClass.ATTACK) else truth.value
+        if event.degraded is not None:
+            self.health["degraded_decisions"] += 1
         self.decisions.append(
             EventDecision(
                 device=device,
@@ -214,6 +357,7 @@ class FiatProxy:
                 action="allow" if event.allow else "drop",
                 truth=truth_label,
                 event_id=event.packets[0].event_id,
+                degraded=event.degraded,
             )
         )
 
@@ -305,3 +449,15 @@ class FiatProxy:
     def decisions_for(self, device: str) -> List[EventDecision]:
         """Decision records of one device."""
         return [d for d in self.decisions if d.device == device]
+
+    def decision_log(self) -> bytes:
+        """Canonical JSON serialisation of all decision records.
+
+        Stable field order and float repr make the log byte-comparable:
+        two runs with the same seeds and the same fault plan must
+        produce identical bytes (the determinism contract of
+        ``repro.faults``).
+        """
+        return json.dumps(
+            [asdict(d) for d in self.decisions], sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")

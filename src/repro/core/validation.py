@@ -42,15 +42,20 @@ class HumanValidationService:
         validator: Optional[HumannessValidator] = None,
         validity_s: float = 60.0,
         freshness_s: float = 30.0,
+        max_interactions: int = 4096,
     ) -> None:
+        if max_interactions < 1:
+            raise ValueError("max_interactions must be >= 1")
         self.receiver = ChannelReceiver(
             keystore, replay_cache=ReplayCache(), freshness_window_s=freshness_s
         )
         self.validator = validator if validator is not None else HumannessValidator().fit()
         self.validity_s = validity_s
+        self.max_interactions = max_interactions
         self._interactions: List[ValidatedInteraction] = []
         self.n_rejected_channel = 0
         self.n_non_human = 0
+        self.n_pruned = 0
 
     def ingest(self, wire: bytes, now: float) -> Optional[ValidatedInteraction]:
         """Process one incoming authentication message.
@@ -62,6 +67,7 @@ class HumanValidationService:
         traffic, but they still matter for logging (§7: FIAT keeps logs
         of all unpredictable events and validations).
         """
+        self.prune(now)
         message = self.receiver.receive(wire, now)
         if message is None:
             self.n_rejected_channel += 1
@@ -76,17 +82,35 @@ class HumanValidationService:
             human=human,
         )
         self._interactions.append(interaction)
+        if len(self._interactions) > self.max_interactions:
+            overflow = len(self._interactions) - self.max_interactions
+            del self._interactions[:overflow]
+            self.n_pruned += overflow
         return interaction
 
     def has_recent_human(self, app_package: str, now: float) -> bool:
-        """Whether a fresh verified-human interaction exists for the app."""
+        """Whether a fresh verified-human interaction exists for the app.
+
+        Only interactions already verified by ``now`` count: a proof
+        still in flight (retransmission arriving later) must not
+        retroactively authorize an event decided before it landed.
+        """
+        self.prune(now)
         cutoff = now - self.validity_s
         return any(
-            i.human and i.app_package == app_package and i.verified_at >= cutoff
+            i.human and i.app_package == app_package and cutoff <= i.verified_at <= now
             for i in reversed(self._interactions)
         )
 
     def prune(self, now: float) -> None:
-        """Drop interactions older than the validity window."""
+        """Drop interactions older than the validity window.
+
+        Called opportunistically by :meth:`ingest` and
+        :meth:`has_recent_human`, so the registry stays bounded by the
+        arrival rate within one validity window (plus the
+        ``max_interactions`` hard cap against bursts).
+        """
         cutoff = now - self.validity_s
-        self._interactions = [i for i in self._interactions if i.verified_at >= cutoff]
+        kept = [i for i in self._interactions if i.verified_at >= cutoff]
+        self.n_pruned += len(self._interactions) - len(kept)
+        self._interactions = kept

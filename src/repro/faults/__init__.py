@@ -1,0 +1,29 @@
+"""Fault injection for FIAT resilience experiments.
+
+A deterministic, seeded subsystem for measuring FIAT under failure:
+:class:`FaultPlan` schedules channel faults (proof loss, duplication,
+delay/reordering, corruption, clock skew) and component outages
+(classifier exceptions, validation-service downtime, sensor dropout);
+:class:`FaultyLink` applies the channel faults to the QUIC auth channel;
+:class:`CircuitBreaker` is the recovery mechanism the proxy wraps around
+flaky components; the ``Flaky*`` injectors make healthy components fail
+on schedule.  Identical plans reproduce identical delivery schedules and
+proxy decision logs.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .injectors import ComponentOutage, FlakyClassifier, FlakyValidationService
+from .link import Delivery, FaultyLink
+from .plan import FaultPlan, OutageWindow
+
+__all__ = [
+    "FaultPlan",
+    "OutageWindow",
+    "FaultyLink",
+    "Delivery",
+    "CircuitBreaker",
+    "BreakerState",
+    "ComponentOutage",
+    "FlakyClassifier",
+    "FlakyValidationService",
+]

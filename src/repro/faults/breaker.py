@@ -1,0 +1,112 @@
+"""Circuit breaker guarding flaky FIAT components.
+
+The proxy must keep making access decisions when a per-device classifier
+or the humanness validation service misbehaves.  A
+:class:`CircuitBreaker` wraps such calls with the classic three-state
+protocol: CLOSED passes traffic through and counts consecutive
+failures; after ``failure_threshold`` failures it OPENs and the caller
+switches to its degraded policy without paying for doomed calls; after
+``recovery_timeout_s`` the next request becomes a HALF_OPEN *probe* — a
+success closes the breaker (recovery), a failure re-opens it and restarts
+the timer.  The breaker is purely time-driven off the simulated clock
+passed by the caller, so fault experiments stay deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """State of a circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed recovery probes."""
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 3,
+        recovery_timeout_s: float = 60.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_timeout_s < 0:
+            raise ValueError("recovery_timeout_s must be non-negative")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self.n_opens = 0
+        self.n_probes = 0
+        self.n_recoveries = 0
+        self.n_rejected = 0
+
+    def allow_request(self, now: float) -> bool:
+        """Whether the caller should attempt the protected call at ``now``.
+
+        While OPEN, requests are rejected until the recovery timeout
+        elapses; the first request after that transitions to HALF_OPEN
+        and is allowed through as a probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if (
+                self._opened_at is not None
+                and now - self._opened_at >= self.recovery_timeout_s
+            ):
+                self.state = BreakerState.HALF_OPEN
+                self.n_probes += 1
+                return True
+            self.n_rejected += 1
+            return False
+        # HALF_OPEN: the probe call is in flight; in this synchronous
+        # simulation each call resolves immediately, so further requests
+        # are themselves probes.
+        self.n_probes += 1
+        return True
+
+    def record_success(self, now: float) -> bool:
+        """Report a successful call; returns ``True`` on recovery.
+
+        Recovery means the breaker was not CLOSED (a probe succeeded or
+        the component healed before the breaker tripped fully).
+        """
+        recovered = self.state is not BreakerState.CLOSED
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        if recovered:
+            self.n_recoveries += 1
+        return recovered
+
+    def record_failure(self, now: float) -> bool:
+        """Report a failed call; returns ``True`` when the breaker opens.
+
+        A failure during HALF_OPEN (a failed probe) re-opens immediately
+        and restarts the recovery timer.
+        """
+        self._consecutive_failures += 1
+        should_open = (
+            self.state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        )
+        if should_open:
+            newly_opened = self.state is not BreakerState.OPEN
+            self.state = BreakerState.OPEN
+            self._opened_at = now
+            if newly_opened:
+                self.n_opens += 1
+            return newly_opened
+        return False

@@ -1,0 +1,106 @@
+"""Fault injectors: wrappers that make healthy components fail on schedule.
+
+These wrappers sit where the real failure would occur — around a
+per-device :class:`~repro.core.classifier.EventClassifier` and around the
+:class:`~repro.core.validation.HumanValidationService` — and raise
+:class:`ComponentOutage` whenever the wrapped component's name falls
+inside one of the plan's outage windows.  They are duck-typed (no import
+of ``repro.core``), so the fault layer stays dependency-free and the
+proxy's circuit breakers see exactly what a crashed process would look
+like: an exception, not a polite error code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .plan import FaultPlan, VALIDATION_COMPONENT, classifier_component
+
+__all__ = ["ComponentOutage", "FlakyClassifier", "FlakyValidationService"]
+
+
+class ComponentOutage(RuntimeError):
+    """Raised by an injector while its component is scheduled as down."""
+
+    def __init__(self, component: str, at: float) -> None:
+        super().__init__(f"{component} is down at t={at:.3f}")
+        self.component = component
+        self.at = at
+
+
+class FlakyClassifier:
+    """An event classifier that raises during scheduled outage windows.
+
+    Exposes the :class:`~repro.core.classifier.EventClassifier` surface
+    the proxy relies on (``device``, ``uses_rules``, ``is_manual``,
+    ``classify_packets``); attribute access falls through to the wrapped
+    classifier.
+    """
+
+    def __init__(self, inner: Any, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.component = classifier_component(inner.device)
+        self.n_faults = 0
+
+    @property
+    def device(self) -> str:
+        return self.inner.device
+
+    @property
+    def uses_rules(self) -> bool:
+        return self.inner.uses_rules
+
+    def _check(self, at: float) -> None:
+        if self.plan.is_down(self.component, at):
+            self.n_faults += 1
+            raise ComponentOutage(self.component, at)
+
+    def _event_time(self, packets: Sequence[Any]) -> float:
+        return float(packets[-1].timestamp) if packets else 0.0
+
+    def classify_packets(self, packets: Sequence[Any]) -> str:
+        self._check(self._event_time(packets))
+        return self.inner.classify_packets(packets)
+
+    def is_manual(self, packets: Sequence[Any]) -> bool:
+        self._check(self._event_time(packets))
+        return self.inner.is_manual(packets)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+
+class FlakyValidationService:
+    """A humanness validation service that raises while scheduled down.
+
+    Wraps :class:`~repro.core.validation.HumanValidationService`:
+    ``ingest`` and ``has_recent_human`` raise :class:`ComponentOutage`
+    inside a ``"validation"`` outage window; everything else (receiver,
+    counters, registry) falls through to the wrapped service.
+    """
+
+    def __init__(self, inner: Any, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.component = VALIDATION_COMPONENT
+        self.n_faults = 0
+
+    def _check(self, at: float) -> None:
+        if self.plan.is_down(self.component, at):
+            self.n_faults += 1
+            raise ComponentOutage(self.component, at)
+
+    def ingest(self, wire: bytes, now: float) -> Optional[Any]:
+        self._check(now)
+        return self.inner.ingest(wire, now)
+
+    def has_recent_human(self, app_package: str, now: float) -> bool:
+        self._check(now)
+        return self.inner.has_recent_human(app_package, now)
+
+    def prune(self, now: float) -> None:
+        self.inner.prune(now)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)

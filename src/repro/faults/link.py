@@ -1,0 +1,107 @@
+"""A lossy, reordering, corrupting wrapper around the QUIC auth channel.
+
+:class:`FaultyLink` sits between the FIAT app's signed wire bytes and
+the proxy's receiver.  Given a message and its nominal transport
+latency, it decides — from the plan's seeded RNG stream — whether the
+message is lost, duplicated, delayed or corrupted, and at what simulated
+time each surviving copy arrives.  It also models acknowledgement loss
+(the sender-side trigger for spurious retransmissions) and receiver
+clock skew.  All draws come from ``plan.stream("link")``, so an
+identical plan reproduces an identical delivery schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .plan import FaultPlan
+
+__all__ = ["Delivery", "FaultyLink"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One copy of a message arriving at the receiver."""
+
+    arrive_at: float
+    wire: bytes
+    duplicate: bool = False
+    corrupted: bool = False
+
+
+class FaultyLink:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to channel sends."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = plan.stream("link")
+        self.n_sent = 0
+        self.n_lost = 0
+        self.n_duplicated = 0
+        self.n_corrupted = 0
+        self.n_acks_lost = 0
+
+    # -- wire-level faults --------------------------------------------------------
+
+    def transmit(self, wire: bytes, sent_at: float, latency_ms: float = 0.0) -> List[Delivery]:
+        """Send one message; return the copies that actually arrive.
+
+        An empty list means the message was lost.  Copies are returned
+        in arrival order (delay jitter may put a duplicate ahead of the
+        original).
+        """
+        self.n_sent += 1
+        plan = self.plan
+        if plan.loss_rate > 0.0 and self._rng.random() < plan.loss_rate:
+            self.n_lost += 1
+            return []
+        deliveries = [self._delivery(wire, sent_at, latency_ms, duplicate=False)]
+        if plan.duplicate_rate > 0.0 and self._rng.random() < plan.duplicate_rate:
+            self.n_duplicated += 1
+            deliveries.append(self._delivery(wire, sent_at, latency_ms, duplicate=True))
+        deliveries.sort(key=lambda d: d.arrive_at)
+        return deliveries
+
+    def _delivery(self, wire: bytes, sent_at: float, latency_ms: float, duplicate: bool) -> Delivery:
+        plan = self.plan
+        extra_ms = plan.extra_delay_ms
+        if plan.delay_jitter_ms > 0.0:
+            extra_ms += float(self._rng.exponential(plan.delay_jitter_ms))
+        corrupted = plan.corruption_rate > 0.0 and self._rng.random() < plan.corruption_rate
+        if corrupted:
+            self.n_corrupted += 1
+            wire = self._corrupt(wire)
+        return Delivery(
+            arrive_at=sent_at + (latency_ms + extra_ms) / 1000.0,
+            wire=wire,
+            duplicate=duplicate,
+            corrupted=corrupted,
+        )
+
+    def _corrupt(self, wire: bytes) -> bytes:
+        """Flip one low bit at a random position (a bit error in flight)."""
+        if not wire:
+            return wire
+        index = int(self._rng.integers(0, len(wire)))
+        return wire[:index] + bytes([wire[index] ^ 0x01]) + wire[index + 1 :]
+
+    # -- acknowledgement + clock --------------------------------------------------
+
+    def ack_lost(self) -> bool:
+        """Whether the receiver's acknowledgement is lost on the way back."""
+        rate = self.plan.effective_ack_loss_rate
+        lost = rate > 0.0 and self._rng.random() < rate
+        if lost:
+            self.n_acks_lost += 1
+        return lost
+
+    def retry_jitter_ms(self, max_jitter_ms: float) -> float:
+        """Uniform retransmission jitter drawn from the link's stream."""
+        if max_jitter_ms <= 0.0:
+            return 0.0
+        return float(self._rng.uniform(0.0, max_jitter_ms))
+
+    def receiver_clock(self, t: float) -> float:
+        """Map a true arrival time to the receiver's (possibly skewed) clock."""
+        return t + self.plan.clock_skew_s

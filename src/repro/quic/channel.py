@@ -89,13 +89,19 @@ class AuthChannel:
         self.transport = transport
         self._rng = rng if rng is not None else np.random.default_rng()
 
-    def send(
+    def prepare(
         self,
         app_package: str,
         sensor_features: Sequence[float],
         now: float,
-    ) -> DeliveryResult:
-        """Sign a humanness proof and deliver it over the modelled path."""
+    ) -> bytes:
+        """Sign a humanness proof without transmitting it.
+
+        Used by the reliable sender, which retransmits the same signed
+        wire bytes (same nonce) until the proxy acknowledges: a copy
+        arriving after the original registered is absorbed by the replay
+        cache instead of double-counting the interaction.
+        """
         message = AuthMessage(
             app_package=app_package,
             device_id=self.device_id,
@@ -103,9 +109,21 @@ class AuthChannel:
             sent_at=now,
             nonce=secrets.token_hex(12),
         )
-        signed = self.keystore.sign(self.key_alias, message.to_payload())
-        latency = connection_latency(self.transport, self.path, self._rng)
-        return DeliveryResult(wire=signed.to_wire(), latency_ms=latency)
+        return self.keystore.sign(self.key_alias, message.to_payload()).to_wire()
+
+    def sample_latency(self) -> float:
+        """Draw one connection latency for the configured transport/path."""
+        return connection_latency(self.transport, self.path, self._rng)
+
+    def send(
+        self,
+        app_package: str,
+        sensor_features: Sequence[float],
+        now: float,
+    ) -> DeliveryResult:
+        """Sign a humanness proof and deliver it over the modelled path."""
+        wire = self.prepare(app_package, sensor_features, now)
+        return DeliveryResult(wire=wire, latency_ms=self.sample_latency())
 
 
 class ChannelReceiver:
@@ -126,8 +144,10 @@ class ChannelReceiver:
         """Verify an incoming proof; return it if acceptable, else ``None``.
 
         Rejection reasons (recorded in :attr:`rejections`):
-        ``bad-signature`` (unauthorized device or tampering), ``stale``
-        (outside the freshness window) and ``replay``.
+        ``malformed`` (undecodable wire bytes or a signed payload whose
+        body cannot be parsed), ``bad-signature`` (unauthorized device
+        or tampering), ``stale`` (outside the freshness window) and
+        ``replay``.
         """
         try:
             signed = SignedMessage.from_wire(wire)
@@ -137,7 +157,13 @@ class ChannelReceiver:
         if not self.keystore.verify(signed):
             self.rejections.append("bad-signature")
             return None
-        message = AuthMessage.from_payload(signed.payload)
+        try:
+            message = AuthMessage.from_payload(signed.payload)
+        except (KeyError, ValueError, TypeError):
+            # Signed but malformed: a buggy (or hostile) app shipped a
+            # payload missing a key or carrying non-numeric features.
+            self.rejections.append("malformed")
+            return None
         if not (now - self.freshness_window_s <= message.sent_at <= now + 1.0):
             self.rejections.append("stale")
             return None

@@ -98,3 +98,55 @@ class TestReplayCache:
             ReplayCache(window_seconds=0)
         with pytest.raises(ValueError):
             ReplayCache(max_entries=0)
+
+
+class TestReplayCacheBoundaries:
+    """Exact-boundary behaviour of the time window and the entry cap."""
+
+    def test_reobservation_exactly_at_window_is_replay(self):
+        cache = ReplayCache(window_seconds=60.0)
+        cache.check_and_register("n1", now=0.0)
+        # age == window_seconds: still inside the closed window
+        assert not cache.check_and_register("n1", now=60.0)
+
+    def test_reobservation_just_past_window_is_fresh(self):
+        cache = ReplayCache(window_seconds=60.0)
+        cache.check_and_register("n1", now=0.0)
+        assert cache.check_and_register("n1", now=60.0 + 1e-6)
+
+    def test_eviction_requires_age_strictly_beyond_window(self):
+        cache = ReplayCache(window_seconds=60.0)
+        cache.check_and_register("n1", now=0.0)
+        cache.check_and_register("n2", now=60.0)  # n1 age == window: kept
+        assert len(cache) == 2
+        cache.check_and_register("n3", now=61.0)  # now n1 is evicted
+        assert len(cache) == 2
+
+    def test_max_entries_overflow_evicts_oldest_first(self):
+        cache = ReplayCache(window_seconds=1e9, max_entries=3)
+        for i in range(5):
+            cache.check_and_register(f"n{i}", now=float(i))
+        # oldest identifiers fell out; the newest are replay-protected
+        assert cache.check_and_register("n0", now=5.0)  # evicted => fresh again
+        assert not cache.check_and_register("n4", now=5.0)
+
+    def test_reregistered_evicted_nonce_restarts_its_window(self):
+        cache = ReplayCache(window_seconds=50.0)
+        cache.check_and_register("n1", now=0.0)
+        assert cache.check_and_register("n1", now=100.0)  # expired, fresh again
+        assert not cache.check_and_register("n1", now=120.0)  # new window active
+        assert cache.n_replays_detected == 1
+
+    def test_replay_does_not_refresh_recency_order(self):
+        """A detected replay leaves the original registration untouched.
+
+        The attacker cannot keep an identifier hot by replaying it: the
+        eviction order is set by first registration only, so under cap
+        pressure the oldest original is still evicted first.
+        """
+        cache = ReplayCache(window_seconds=1e9, max_entries=2)
+        cache.check_and_register("a", now=0.0)
+        cache.check_and_register("b", now=1.0)
+        assert not cache.check_and_register("a", now=2.0)  # replay: no refresh
+        cache.check_and_register("c", now=3.0)  # overflow evicts "a" (oldest)
+        assert cache.check_and_register("a", now=4.0)  # evicted => fresh again

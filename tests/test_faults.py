@@ -1,0 +1,213 @@
+"""Unit tests for the repro.faults subsystem (plan, link, breaker, injectors)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FiatApp, HumanValidationService
+from repro.crypto import pair
+from repro.faults import (
+    BreakerState,
+    CircuitBreaker,
+    ComponentOutage,
+    FaultPlan,
+    FaultyLink,
+    FlakyClassifier,
+    FlakyValidationService,
+    OutageWindow,
+)
+from repro.quic import LAN_PATH, Transport
+from repro.sensors import HumannessValidator
+from repro.testbed import Phone
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corruption_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(extra_delay_ms=-1.0)
+
+    def test_outage_window_validated(self):
+        with pytest.raises(ValueError):
+            OutageWindow("validation", 10.0, 5.0)
+
+    def test_is_down_half_open_interval(self):
+        plan = FaultPlan(outages=(OutageWindow("validation", 10.0, 20.0),))
+        assert not plan.is_down("validation", 9.999)
+        assert plan.is_down("validation", 10.0)
+        assert plan.is_down("validation", 19.999)
+        assert not plan.is_down("validation", 20.0)
+        assert not plan.is_down("classifier:SP10", 15.0)
+
+    def test_streams_independent_and_deterministic(self):
+        plan = FaultPlan(seed=42)
+        a1 = plan.stream("link").random(8)
+        a2 = plan.stream("link").random(8)
+        b = plan.stream("sensor").random(8)
+        assert np.allclose(a1, a2)
+        assert not np.allclose(a1, b)
+
+    def test_outages_accepts_list(self):
+        plan = FaultPlan(outages=[OutageWindow("sensor", 0.0, 1.0)])
+        assert isinstance(plan.outages, tuple)
+        assert plan.outages_for("sensor") == plan.outages
+
+
+class TestFaultyLink:
+    def test_lossless_link_is_transparent(self):
+        link = FaultyLink(FaultPlan(seed=0))
+        deliveries = link.transmit(b"proof", sent_at=10.0, latency_ms=25.0)
+        assert len(deliveries) == 1
+        assert deliveries[0].wire == b"proof"
+        assert deliveries[0].arrive_at == pytest.approx(10.025)
+        assert not link.ack_lost()
+
+    def test_full_loss(self):
+        link = FaultyLink(FaultPlan(seed=0, loss_rate=1.0))
+        assert link.transmit(b"proof", 0.0) == []
+        assert link.n_lost == 1
+
+    def test_loss_rate_statistics(self):
+        link = FaultyLink(FaultPlan(seed=3, loss_rate=0.3))
+        lost = sum(not link.transmit(b"m", float(i)) for i in range(2000))
+        assert 0.25 < lost / 2000 < 0.35
+
+    def test_duplicates_and_ordering(self):
+        link = FaultyLink(
+            FaultPlan(seed=1, duplicate_rate=1.0, delay_jitter_ms=50.0)
+        )
+        deliveries = link.transmit(b"proof", 0.0, latency_ms=10.0)
+        assert len(deliveries) == 2
+        assert deliveries[0].arrive_at <= deliveries[1].arrive_at
+        assert any(d.duplicate for d in deliveries)
+
+    def test_corruption_flips_exactly_one_bit(self):
+        link = FaultyLink(FaultPlan(seed=2, corruption_rate=1.0))
+        (delivery,) = link.transmit(b"proof-bytes", 0.0)
+        assert delivery.corrupted
+        diff = [
+            (a, b) for a, b in zip(b"proof-bytes", delivery.wire) if a != b
+        ]
+        assert len(diff) == 1
+        assert diff[0][0] ^ diff[0][1] == 0x01
+
+    def test_clock_skew(self):
+        link = FaultyLink(FaultPlan(clock_skew_s=45.0))
+        assert link.receiver_clock(10.0) == pytest.approx(55.0)
+
+    def test_deterministic_schedule(self):
+        plan = FaultPlan(seed=9, loss_rate=0.4, duplicate_rate=0.2, corruption_rate=0.1)
+        runs = []
+        for _ in range(2):
+            link = FaultyLink(plan)
+            runs.append(
+                [
+                    tuple((d.arrive_at, d.wire) for d in link.transmit(b"x", float(i), 20.0))
+                    for i in range(50)
+                ]
+            )
+        assert runs[0] == runs[1]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker("c", failure_threshold=3, recovery_timeout_s=30.0)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.record_failure(2.0)  # newly opened
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow_request(10.0)
+        assert breaker.n_opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker("c", failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        assert not breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_after_recovery_timeout(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow_request(29.9)
+        assert breaker.allow_request(30.0)  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.record_success(30.0)  # recovery
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.n_recoveries == 1
+
+    def test_failed_probe_reopens_and_restarts_timer(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow_request(31.0)
+        assert breaker.record_failure(31.0)  # probe failed: re-open
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow_request(60.0)  # timer restarted at 31
+        assert breaker.allow_request(61.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_timeout_s=-1.0)
+
+
+class _RuleStub:
+    """Minimal EventClassifier stand-in for injector tests."""
+
+    device = "SP10"
+    uses_rules = True
+
+    def is_manual(self, packets):
+        return True
+
+    def classify_packets(self, packets):
+        return "manual"
+
+
+class _FakePacket:
+    def __init__(self, timestamp):
+        self.timestamp = timestamp
+
+
+class TestInjectors:
+    def test_flaky_classifier_raises_only_in_window(self):
+        plan = FaultPlan(outages=(OutageWindow("classifier:SP10", 100.0, 200.0),))
+        flaky = FlakyClassifier(_RuleStub(), plan)
+        assert flaky.uses_rules
+        assert flaky.is_manual([_FakePacket(50.0)])
+        with pytest.raises(ComponentOutage):
+            flaky.is_manual([_FakePacket(150.0)])
+        with pytest.raises(ComponentOutage):
+            flaky.classify_packets([_FakePacket(150.0)])
+        assert flaky.is_manual([_FakePacket(250.0)])
+        assert flaky.n_faults == 2
+
+    def test_flaky_validation_service(self):
+        phone_ks, proxy_ks = pair("phone", "proxy")
+        service = HumanValidationService(
+            proxy_ks, validator=HumannessValidator(n_train_per_class=60, seed=0).fit()
+        )
+        plan = FaultPlan(outages=(OutageWindow("validation", 100.0, 200.0),))
+        flaky = FlakyValidationService(service, plan)
+
+        app = FiatApp(
+            keystore=phone_ks,
+            key_alias="fiat-pairing",
+            device_id="phone-1",
+            path=LAN_PATH,
+            transport=Transport.QUIC_0RTT,
+            seed=0,
+        )
+        interaction = Phone(seed=0).interact("SP10", 50.0, human=True, intensity=1.2)
+        attempt = app.authenticate(interaction, now=50.0)
+        assert flaky.ingest(attempt.wire, now=50.1) is not None
+        with pytest.raises(ComponentOutage):
+            flaky.ingest(attempt.wire, now=150.0)
+        with pytest.raises(ComponentOutage):
+            flaky.has_recent_human(interaction.app_package, now=150.0)
+        # attribute passthrough to the wrapped service
+        assert flaky.n_rejected_channel == service.n_rejected_channel
+        assert flaky.has_recent_human(interaction.app_package, now=60.0)
