@@ -1,5 +1,19 @@
 """Shared helpers and constants for the benchmark harness."""
 
+import os
+
+
+def bench_out_path(filename):
+    """Where a machine-readable ``BENCH_*.json`` result file lands.
+
+    The directory comes from the ``FIAT_BENCH_OUT`` environment variable
+    (default: current working directory) and is created if missing, so
+    CI can collect every bench's snapshot as one artifact.
+    """
+    directory = os.environ.get("FIAT_BENCH_OUT", ".")
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, filename)
+
 #: Device-location datasets evaluated in Table 3 (13 rows).
 TABLE3_DATASETS = [
     ("EchoDot4", "US"),

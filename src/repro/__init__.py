@@ -29,11 +29,19 @@ Subpackages
     Synthetic YourThings / Mon(IoT)r / IoT-Inspector-like corpora.
 ``repro.core``
     The FIAT system: client app, IoT proxy, accuracy and latency models.
+``repro.obs``
+    Zero-dependency observability: metrics, tracing, audit stream.
 """
+
+import logging as _logging
 
 __version__ = "1.0.0"
 
-from . import (  # noqa: F401  (re-export for discoverability)
+# Library convention: never emit log records unless the application
+# configures handlers (the CLI does, via --verbose/--quiet).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from . import (  # noqa: F401,E402  (re-export for discoverability)
     core,
     crypto,
     datasets,
@@ -41,6 +49,7 @@ from . import (  # noqa: F401  (re-export for discoverability)
     features,
     ml,
     net,
+    obs,
     predictability,
     quic,
     scenarios,
@@ -61,6 +70,7 @@ __all__ = [
     "testbed",
     "datasets",
     "core",
+    "obs",
     "scenarios",
     "viz",
     "__version__",

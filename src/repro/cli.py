@@ -13,20 +13,50 @@ Subcommands
     Group a capture's unpredictable traffic into events and summarise
     them (§3.2).
 ``evaluate``
-    Run the Table-6 accuracy experiment for a set of devices.
+    Run the Table-6 accuracy experiment for a set of devices; with
+    ``--metrics-out``/``--audit-out`` it runs fully instrumented and
+    writes the registry snapshot / JSONL audit stream.
+``obs-report``
+    Render the observability dashboard from a metrics snapshot, or
+    follow one trace ID through an audit stream.
 ``export-profile``
     Learn allow rules from a capture's bootstrap window and export a
     MUD-style profile for one device.
+
+Global ``-v/--verbose`` (repeatable) and ``-q/--quiet`` flags control
+stdlib logging for every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _configure_logging(verbosity: int, quiet: bool) -> None:
+    """Map -v/-q to stdlib logging levels (library default: silent)."""
+    if quiet:
+        level = logging.ERROR
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    # force=True: the CLI owns process-wide logging, and basicConfig is
+    # otherwise a no-op when a host (e.g. a test runner) already
+    # installed handlers on the root logger.
+    logging.basicConfig(
+        level=level,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+        force=True,
+    )
 
 
 def _load_trace(path: str):
@@ -99,16 +129,28 @@ def cmd_events(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from .core import FiatConfig, FiatSystem
+    from .obs import JsonlAuditSink, Observability, save_snapshot
 
+    obs = None
+    audit_sink = None
+    if args.metrics_out or args.audit_out:
+        audit_sink = JsonlAuditSink(args.audit_out) if args.audit_out else None
+        obs = Observability(audit=audit_sink, trace_seed=args.seed)
     system = FiatSystem(
         args.devices,
-        config=FiatConfig(bootstrap_s=0.0),
+        config=FiatConfig(bootstrap_s=0.0, obs=obs),
         seed=args.seed,
         n_training_events=args.training_events,
     )
     results = system.run_accuracy(
         n_manual=args.manual, n_non_manual=args.non_manual, n_attacks=args.attacks
     )
+    if args.metrics_out:
+        save_snapshot(system.metrics_snapshot(), args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}")
+    if audit_sink is not None:
+        audit_sink.close()
+        print(f"audit stream ({audit_sink.n_emitted} records) written to {args.audit_out}")
     print(f"{'device':12s} {'manual P/R':>12s} {'FP legit':>9s} {'FN attacks':>11s}")
     for device, row in results.items():
         fp = row.fp_manual_blocked + row.fp_non_manual_blocked
@@ -121,6 +163,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         f"humanness: P/R {human['human_precision']:.2f}/{human['human_recall']:.2f} human, "
         f"{human['non_human_precision']:.2f}/{human['non_human_recall']:.2f} non-human"
     )
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs import load_snapshot, read_audit, render_report, render_trace
+
+    audit = read_audit(args.audit) if args.audit else None
+    if args.trace_id:
+        if audit is None:
+            print("--trace-id requires --audit", file=sys.stderr)
+            return 1
+        print(render_trace(audit, args.trace_id))
+        return 0
+    if not args.snapshot:
+        print("a metrics snapshot path is required (or use --trace-id)", file=sys.stderr)
+        return 1
+    snapshot = load_snapshot(args.snapshot)
+    print(render_report(snapshot, audit=audit, top=args.top))
     return 0
 
 
@@ -202,6 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="fiat-repro",
         description="FIAT (CoNEXT '22) reproduction toolkit",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress detail (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="only log errors"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="simulate a household capture")
@@ -233,7 +300,32 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--attacks", type=int, default=20)
     evaluate.add_argument("--training-events", dest="training_events", type=int, default=160)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--metrics-out", dest="metrics_out",
+        help="run instrumented; write the metrics snapshot JSON here",
+    )
+    evaluate.add_argument(
+        "--audit-out", dest="audit_out",
+        help="run instrumented; write the JSONL audit stream here",
+    )
     evaluate.set_defaults(func=cmd_evaluate)
+
+    obs_report = sub.add_parser(
+        "obs-report", help="render the observability dashboard / follow a trace"
+    )
+    obs_report.add_argument(
+        "snapshot", nargs="?",
+        help="metrics snapshot JSON (from evaluate --metrics-out)",
+    )
+    obs_report.add_argument("--audit", help="JSONL audit stream to summarise/query")
+    obs_report.add_argument(
+        "--trace-id", dest="trace_id",
+        help="print the full chain of one trace ID from --audit",
+    )
+    obs_report.add_argument(
+        "--top", type=int, default=12, help="rows per dashboard section"
+    )
+    obs_report.set_defaults(func=cmd_obs_report)
 
     train = sub.add_parser("train", help="train + save a device's event classifier")
     train.add_argument("--device", required=True)
@@ -265,6 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     return int(args.func(args))
 
 

@@ -27,6 +27,7 @@ from ..ml.base import Classifier
 from ..ml.naive_bayes import BernoulliNB
 from ..ml.preprocessing import StandardScaler
 from ..net.packet import Packet
+from ..obs import NULL_OBS, Observability
 from ..testbed.devices import DeviceProfile
 
 __all__ = ["EventClassifier", "SimpleRuleClassifier", "train_event_classifier"]
@@ -56,6 +57,7 @@ class EventClassifier:
         rule: Optional[SimpleRuleClassifier] = None,
         model: Optional[Classifier] = None,
         scaler: Optional[StandardScaler] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if rule is None and model is None:
             raise ValueError("either a rule or a trained model is required")
@@ -64,6 +66,7 @@ class EventClassifier:
         self.rule = rule
         self.model = model
         self.scaler = scaler
+        self.obs = obs if obs is not None else NULL_OBS
 
     @property
     def uses_rules(self) -> bool:
@@ -79,7 +82,7 @@ class EventClassifier:
         if self.scaler is not None:
             features = self.scaler.transform(features)
         assert self.model is not None
-        return str(self.model.predict(features)[0])
+        return str(self.model.timed_predict(features, obs=self.obs, device=self.device)[0])
 
     def is_manual(self, packets: Sequence[Packet]) -> bool:
         """Collapse to the manual / non-manual decision the proxy needs."""
@@ -91,6 +94,7 @@ def train_event_classifier(
     training_events: Optional[Sequence[UnpredictableEvent]] = None,
     first_n: int = 5,
     model: Optional[Classifier] = None,
+    obs: Optional[Observability] = None,
 ) -> EventClassifier:
     """Build a device's classifier the way the paper deploys it.
 
@@ -103,6 +107,7 @@ def train_event_classifier(
             device=profile.name,
             first_n=first_n,
             rule=SimpleRuleClassifier(profile.simple_rule_size),
+            obs=obs,
         )
     if not training_events:
         raise ValueError(f"{profile.name} needs labelled training events")
@@ -113,5 +118,5 @@ def train_event_classifier(
     estimator = model if model is not None else BernoulliNB()
     estimator.fit(Xs, y)
     return EventClassifier(
-        device=profile.name, first_n=first_n, model=estimator, scaler=scaler
+        device=profile.name, first_n=first_n, model=estimator, scaler=scaler, obs=obs
     )

@@ -22,6 +22,7 @@ import numpy as np
 from ..crypto.keystore import SecureKeystore
 from ..faults.link import FaultyLink
 from ..features.sensor_features import sensor_features
+from ..obs import NULL_OBS, Observability
 from ..quic.channel import AuthChannel
 from ..quic.transport import NetworkPath, Transport
 from ..testbed.phone import ManualInteraction
@@ -37,6 +38,8 @@ class AuthAttempt:
     sent_at: float
     #: milliseconds per component (Table 7 rows)
     components: Dict[str, float]
+    #: observability trace ID of this proof ("" = untraced)
+    trace_id: str = ""
 
     @property
     def time_to_validation_ms(self) -> float:
@@ -96,6 +99,8 @@ class ReliableAuthReport:
     components: Dict[str, float] = field(default_factory=dict)
     #: simulated send time of every (re)transmission
     attempt_times: List[float] = field(default_factory=list)
+    #: observability trace ID shared by every retransmission ("" = untraced)
+    trace_id: str = ""
 
     @property
     def time_to_validation_ms(self) -> Optional[float]:
@@ -124,8 +129,10 @@ class FiatApp:
         path: NetworkPath,
         transport: Transport = Transport.QUIC_0RTT,
         seed: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._rng = np.random.default_rng(seed)
+        self.obs = obs if obs is not None else NULL_OBS
         self.channel = AuthChannel(
             keystore=keystore,
             key_alias=key_alias,
@@ -151,9 +158,18 @@ class FiatApp:
             "ml_validation": self._component_ms(2.3, 0.3),  # runs at the proxy
         }
         features = sensor_features(interaction.sensor_window)
-        delivery = self.channel.send(interaction.app_package, features.tolist(), now)
+        trace_id = self.obs.mint_trace("proof")
+        delivery = self.channel.send(
+            interaction.app_package, features.tolist(), now, trace_id=trace_id
+        )
         components["transport"] = delivery.latency_ms
-        return AuthAttempt(wire=delivery.wire, sent_at=now, components=components)
+        self.obs.inc("proofs_sent_total", mode="single")
+        self.obs.emit(
+            "proof.signed", t=now, trace=trace_id, app_package=interaction.app_package
+        )
+        return AuthAttempt(
+            wire=delivery.wire, sent_at=now, components=components, trace_id=trace_id
+        )
 
     def authenticate_reliable(
         self,
@@ -181,7 +197,14 @@ class FiatApp:
             "ml_validation": self._component_ms(2.3, 0.3),
         }
         features = sensor_features(interaction.sensor_window)
-        wire = self.channel.prepare(interaction.app_package, features.tolist(), now)
+        trace_id = self.obs.mint_trace("proof")
+        wire = self.channel.prepare(
+            interaction.app_package, features.tolist(), now, trace_id=trace_id
+        )
+        self.obs.inc("proofs_sent_total", mode="reliable")
+        self.obs.emit(
+            "proof.signed", t=now, trace=trace_id, app_package=interaction.app_package
+        )
 
         deadline = now + policy.deadline_ms / 1000.0
         rto_ms = policy.initial_rto_ms
@@ -191,6 +214,13 @@ class FiatApp:
         acked_at: Optional[float] = None
         while True:
             attempt_times.append(send_at)
+            self.obs.inc("proof_attempts_total")
+            self.obs.emit(
+                "proof.attempt",
+                t=send_at,
+                trace=trace_id,
+                attempt=len(attempt_times),
+            )
             latency_ms = self.channel.sample_latency()
             if len(attempt_times) == 1:
                 components["transport"] = latency_ms
@@ -207,11 +237,29 @@ class FiatApp:
             if next_at > deadline:
                 break
             send_at = next_at
-        return ReliableAuthReport(
+        report = ReliableAuthReport(
             acked=acked,
             n_attempts=len(attempt_times),
             first_sent_at=now,
             acked_at=acked_at,
             components=components,
             attempt_times=attempt_times,
+            trace_id=trace_id,
         )
+        if acked:
+            self.obs.inc("proofs_acked_total")
+            ttv = report.time_to_validation_ms
+            if ttv is not None:
+                self.obs.observe("proof_ttv_ms", ttv)
+            self.obs.emit(
+                "proof.acked",
+                t=acked_at if acked_at is not None else now,
+                trace=trace_id,
+                attempts=len(attempt_times),
+            )
+        else:
+            self.obs.inc("proofs_expired_total")
+            self.obs.emit(
+                "proof.expired", t=deadline, trace=trace_id, attempts=len(attempt_times)
+            )
+        return report

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..net.flows import FlowDefinition
+from ..obs import NULL_OBS, Observability
 
 __all__ = ["FiatConfig"]
 
@@ -75,6 +77,18 @@ class FiatConfig:
     classifier_fallback: str = "assume-manual"
     #: Hard cap on the validation service's interaction registry.
     max_validated_interactions: int = 4096
+
+    # -- observability --------------------------------------------------------
+    #: Shared :class:`~repro.obs.Observability` handle (metrics registry,
+    #: trace-ID minter, optional JSONL audit sink).  ``None`` disables all
+    #: instrumentation; enabling it never changes behaviour — the decision
+    #: log stays byte-identical either way.
+    obs: "Optional[Observability]" = None
+
+    @property
+    def observability(self) -> Observability:
+        """The configured handle, or the shared disabled one."""
+        return self.obs if self.obs is not None else NULL_OBS
 
     def __post_init__(self) -> None:
         if self.validation_outage_policy not in ("fail-closed", "fail-open"):

@@ -22,6 +22,7 @@ from ..crypto.keystore import pair
 from ..events.grouping import UnpredictableEvent
 from ..faults import FaultPlan, FaultyLink, FlakyClassifier, FlakyValidationService
 from ..net.packet import TrafficClass
+from ..obs import MetricsSnapshot
 from ..quic.transport import Transport
 from ..testbed.cloud import CloudDirectory, Location
 from ..testbed.devices import DeviceProfile, profile_for
@@ -77,12 +78,15 @@ class FiatSystem:
         self.profiles: List[DeviceProfile] = [
             profile_for(d) if isinstance(d, str) else d for d in devices
         ]
+        self.obs = self.config.observability
         self.cloud = CloudDirectory(seed=seed + 1)
         self._rng = np.random.default_rng(seed)
         self.phone = Phone(seed=seed + 2)
 
         # Pairing: the shared key lives in both TEEs, never on the wire.
-        phone_keystore, proxy_keystore = pair("phone", "iot-proxy", alias=_KEY_ALIAS)
+        phone_keystore, proxy_keystore = pair(
+            "phone", "iot-proxy", alias=_KEY_ALIAS, obs=self.obs
+        )
         self.app = FiatApp(
             keystore=phone_keystore,
             key_alias=_KEY_ALIAS,
@@ -90,6 +94,7 @@ class FiatSystem:
             path=scenario.auth_path,
             transport=transport,
             seed=seed + 3,
+            obs=self.obs,
         )
         self.validation = HumanValidationService(
             proxy_keystore,
@@ -97,6 +102,7 @@ class FiatSystem:
             validity_s=self.config.human_validity_s,
             freshness_s=self.config.channel_freshness_s,
             max_interactions=self.config.max_validated_interactions,
+            obs=self.obs,
         )
 
         # Per-device classifiers, trained as deployed (§6 footnote 2).
@@ -114,7 +120,7 @@ class FiatSystem:
                     cloud=self.cloud,
                 )
             self.classifiers[profile.name] = train_event_classifier(
-                profile, training, first_n=self.config.first_n_packets
+                profile, training, first_n=self.config.first_n_packets, obs=self.obs
             )
 
         self.proxy = FiatProxy(
@@ -356,6 +362,16 @@ class FiatSystem:
                 n_attacks=len(attack_dec),
             )
         return results
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Snapshot of the whole deployment's metrics.
+
+        With observability enabled this is the shared registry every
+        component reports into; with it disabled only the proxy's
+        private health counters exist.  Delegates to the proxy so the
+        packet tallies are synced before the snapshot is cut.
+        """
+        return self.proxy.metrics_snapshot()
 
     def human_validation_rates(self) -> Dict[str, float]:
         """Precision/recall of humanness validation accumulated so far."""

@@ -28,7 +28,9 @@ the proxy keeps logs of all unpredictable events and validations, which
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import asdict, dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from ..events.grouping import UnpredictableEvent
@@ -36,6 +38,7 @@ from ..faults.breaker import BreakerState, CircuitBreaker
 from ..net.dns import DnsTable
 from ..net.packet import Packet, TrafficClass
 from ..net.trace import Trace
+from ..obs import TIMING_SAMPLE_INTERVAL_S, CounterView, MetricsRegistry, MetricsSnapshot
 from ..predictability.buckets import BucketPredictor
 from .classifier import EventClassifier
 from .config import FiatConfig
@@ -44,6 +47,8 @@ from .rules import RuleTable
 from .validation import HumanValidationService
 
 __all__ = ["EventDecision", "Alert", "FiatProxy"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -87,6 +92,9 @@ class _OpenEvent:
     predicted_manual: bool = False
     human_backed: Optional[bool] = None
     degraded: Optional[str] = None
+    #: observability-only fields — never serialised into the decision log
+    trace_id: str = ""
+    proof_trace: str = ""
 
     @property
     def last_time(self) -> float:
@@ -114,14 +122,21 @@ class FiatProxy:
         #: §7 "Complex Scenarios": DAG of allowed device-to-device control
         self.interactions = interactions
         self.device_ips = device_ips or {}
+        self._obs = config.observability
         self._bootstrap_end = start_time + config.bootstrap_s
         self._predictor = BucketPredictor(
             definition=config.flow_definition,
             dns=dns,
             resolution=config.iat_resolution,
+            obs=self._obs,
         )
         self._rules: Optional[RuleTable] = None
         self._next_refresh: Optional[float] = None
+        # Hot-path timing gate: next simulated timestamp at which one
+        # packet's bucket lookup / rule match is timed.  Pinned to +inf
+        # when observability is off, so the disabled fast path pays a
+        # single always-false float compare per packet.
+        self._next_sample_at = 0.0 if self._obs.enabled else float("inf")
         self._open: Dict[str, _OpenEvent] = {}
         self._violations: Dict[str, List[float]] = {}
         self._locked: Dict[str, float] = {}
@@ -134,17 +149,30 @@ class FiatProxy:
             "validation",
             failure_threshold=config.breaker_failure_threshold,
             recovery_timeout_s=config.breaker_recovery_s,
+            obs=self._obs,
         )
         self._classifier_breakers: Dict[str, CircuitBreaker] = {}
-        #: operational health counters surfaced next to decisions/alerts
-        self.health: Dict[str, int] = {
-            "classifier_errors": 0,
-            "classifier_unavailable": 0,
-            "validation_errors": 0,
-            "validation_unavailable": 0,
-            "degraded_decisions": 0,
-            "auth_dropped_breaker_open": 0,
-        }
+        #: operational health counters surfaced next to decisions/alerts.
+        #: Historically a plain dict; now a registry-backed view with the
+        #: same read surface (``proxy.health["classifier_errors"]``).
+        #: With observability disabled the counters land in a private
+        #: registry so state never leaks through the shared NULL handle.
+        self._health_registry = (
+            self._obs.registry if self._obs.enabled else MetricsRegistry()
+        )
+        self.health: CounterView = CounterView(
+            self._health_registry,
+            "proxy_health_total",
+            label="kind",
+            initial=(
+                "classifier_errors",
+                "classifier_unavailable",
+                "validation_errors",
+                "validation_unavailable",
+                "degraded_decisions",
+                "auth_dropped_breaker_open",
+            ),
+        )
 
     # -- circuit breakers ---------------------------------------------------------
 
@@ -163,6 +191,7 @@ class FiatProxy:
                 f"classifier:{device}",
                 failure_threshold=self.config.breaker_failure_threshold,
                 recovery_timeout_s=self.config.breaker_recovery_s,
+                obs=self._obs,
             )
             self._classifier_breakers[device] = breaker
         return breaker
@@ -197,6 +226,7 @@ class FiatProxy:
         try:
             result = self.validation.ingest(wire, now)
         except Exception:
+            logger.debug("validation ingest failed at t=%.3f", now, exc_info=True)
             self._validation_failed(now)
             return None
         self._validation_succeeded(now)
@@ -247,6 +277,9 @@ class FiatProxy:
             try:
                 manual = bool(classifier.is_manual(prefix))
             except Exception:
+                logger.debug(
+                    "classifier for %s failed at t=%.3f", device, now, exc_info=True
+                )
                 self.health["classifier_errors"] += 1
                 if breaker.record_failure(now):
                     self._health_alert(device, now, "classifier circuit opened")
@@ -273,6 +306,9 @@ class FiatProxy:
             try:
                 human = bool(self.validation.has_recent_human(app, now))
             except Exception:
+                logger.debug(
+                    "humanness query for %s failed at t=%.3f", app, now, exc_info=True
+                )
                 self._validation_failed(now)
             else:
                 self._validation_succeeded(now)
@@ -284,6 +320,16 @@ class FiatProxy:
         return False, "validation-outage:fail-closed"
 
     def _decide(self, device: str, event: _OpenEvent, now: float) -> None:
+        if self._obs.enabled:
+            t0 = perf_counter()
+            self._decide_inner(device, event, now)
+            self._obs.observe(
+                "proxy_decide_latency_ms", (perf_counter() - t0) * 1000.0
+            )
+        else:
+            self._decide_inner(device, event, now)
+
+    def _decide_inner(self, device: str, event: _OpenEvent, now: float) -> None:
         classifier = self.classifiers.get(device)
         if classifier is None:
             # Unknown device: fail open on classification (the paper's
@@ -311,6 +357,12 @@ class FiatProxy:
             return
         app = self.app_for_device.get(device, "")
         human, human_degraded = self._human_backed(app, now)
+        if self._obs.enabled and human and human_degraded is None:
+            # Link the decision back to the proof that authorized it.
+            # Audit-only read, after the breaker-guarded check succeeded.
+            backing = self.validation.recent_human_interaction(app, now)
+            if backing is not None:
+                event.proof_trace = backing.trace_id
         if human_degraded is not None:
             event.degraded = (
                 human_degraded if degraded is None else f"{degraded}+{human_degraded}"
@@ -347,6 +399,7 @@ class FiatProxy:
         truth_label = "manual" if truth in (TrafficClass.MANUAL, TrafficClass.ATTACK) else truth.value
         if event.degraded is not None:
             self.health["degraded_decisions"] += 1
+        action = "allow" if event.allow else "drop"
         self.decisions.append(
             EventDecision(
                 device=device,
@@ -354,12 +407,26 @@ class FiatProxy:
                 n_packets=len(event.packets),
                 predicted_manual=event.predicted_manual,
                 human_backed=event.human_backed,
-                action="allow" if event.allow else "drop",
+                action=action,
                 truth=truth_label,
                 event_id=event.packets[0].event_id,
                 degraded=event.degraded,
             )
         )
+        if self._obs.enabled:
+            self._obs.inc("proxy_decisions_total", action=action)
+            self._sync_packet_counters()
+            self._obs.emit(
+                "proxy.decision",
+                t=event.last_time,
+                trace=event.trace_id,
+                proof_trace=event.proof_trace,
+                device=device,
+                action=action,
+                predicted_manual=event.predicted_manual,
+                human_backed=event.human_backed,
+                degraded=event.degraded,
+            )
 
     # -- main entry point ---------------------------------------------------------
 
@@ -367,11 +434,20 @@ class FiatProxy:
         """Process one packet; return ``True`` when it is forwarded."""
         now = packet.timestamp
         device = packet.device
+        obs = self._obs
 
-        # Bootstrap: learn, allow everything.
+        # Bootstrap: learn, allow everything.  Packet totals sync into the
+        # registry lazily (see _sync_packet_counters) — a per-packet
+        # counter write here would dominate the sub-microsecond fast path.
+        # The shared sim-time sampling gate (see __init__) feeds the
+        # bucket-lookup histogram here and the rule-match histogram below.
         if now < self._bootstrap_end:
-            self._predictor.observe(packet)
             self.n_allowed += 1
+            if now >= self._next_sample_at:
+                self._next_sample_at = now + TIMING_SAMPLE_INTERVAL_S
+                self._predictor.timed_observe(packet)
+            else:
+                self._predictor.observe(packet)
             return True
         if self._rules is None:
             self._rules = RuleTable.from_predictor(self._predictor)
@@ -394,9 +470,18 @@ class FiatProxy:
 
         if self.is_locked(device):
             self.n_dropped += 1
+            if obs.enabled:
+                obs.inc("proxy_drops_total", reason="locked")
             return False
 
-        if self._rules.matches(packet):
+        if now >= self._next_sample_at:
+            self._next_sample_at = now + TIMING_SAMPLE_INTERVAL_S
+            t0 = perf_counter()
+            matched = self._rules.matches(packet)
+            obs.observe("rule_match_latency_ms", (perf_counter() - t0) * 1000.0)
+        else:
+            matched = self._rules.matches(packet)
+        if matched:
             self.n_allowed += 1
             return True
 
@@ -406,8 +491,10 @@ class FiatProxy:
             self._close_event(device, event)
             event = None
         if event is None:
-            event = _OpenEvent()
+            event = _OpenEvent(trace_id=obs.mint_trace("event"))
             self._open[device] = event
+            if obs.enabled:
+                obs.emit("proxy.event_open", t=now, trace=event.trace_id, device=device)
         event.packets.append(packet)
 
         if not event.decided and len(event.packets) >= self._decision_prefix(device):
@@ -425,6 +512,8 @@ class FiatProxy:
             self.n_allowed += 1
         else:
             self.n_dropped += 1
+            if obs.enabled:
+                obs.inc("proxy_drops_total", reason="manual-unverified")
         return allowed
 
     def run_trace(self, trace: Trace) -> None:
@@ -438,6 +527,21 @@ class FiatProxy:
         for device, event in list(self._open.items()):
             self._close_event(device, event)
         self._open.clear()
+        self._sync_packet_counters()
+
+    def _sync_packet_counters(self) -> None:
+        """Publish the per-packet tallies into the registry.
+
+        ``n_allowed``/``n_dropped`` are plain-int counters on the packet
+        fast path; the registry copies (``proxy_packets_total``) are
+        refreshed here — at event close, flush and snapshot time —
+        instead of per packet, keeping instrumentation overhead off the
+        rule-match path.
+        """
+        if self._obs.enabled:
+            registry = self._obs.registry
+            registry.set_counter("proxy_packets_total", self.n_allowed, action="allow")
+            registry.set_counter("proxy_packets_total", self.n_dropped, action="drop")
 
     # -- evaluation helpers -------------------------------------------------------
 
@@ -449,6 +553,16 @@ class FiatProxy:
     def decisions_for(self, device: str) -> List[EventDecision]:
         """Decision records of one device."""
         return [d for d in self.decisions if d.device == device]
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Snapshot of the registry backing this proxy's metrics.
+
+        With observability enabled this is the shared session registry;
+        otherwise it is the private registry holding only the
+        :attr:`health` counters.
+        """
+        self._sync_packet_counters()
+        return self._health_registry.snapshot()
 
     def decision_log(self) -> bytes:
         """Canonical JSON serialisation of all decision records.

@@ -11,11 +11,13 @@ with the right app on a pre-authorized device.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..crypto.replay import ReplayCache
+from ..obs import NULL_OBS, Observability
 from ..quic.channel import AuthMessage, ChannelReceiver
 from ..crypto.keystore import SecureKeystore
 from ..sensors.humanness import HumannessValidator
@@ -31,6 +33,8 @@ class ValidatedInteraction:
     device_id: str
     verified_at: float
     human: bool
+    #: trace ID carried by the proof's wire message ("" = untraced).
+    trace_id: str = ""
 
 
 class HumanValidationService:
@@ -43,11 +47,16 @@ class HumanValidationService:
         validity_s: float = 60.0,
         freshness_s: float = 30.0,
         max_interactions: int = 4096,
+        obs: Optional[Observability] = None,
     ) -> None:
         if max_interactions < 1:
             raise ValueError("max_interactions must be >= 1")
+        self.obs = obs if obs is not None else NULL_OBS
         self.receiver = ChannelReceiver(
-            keystore, replay_cache=ReplayCache(), freshness_window_s=freshness_s
+            keystore,
+            replay_cache=ReplayCache(),
+            freshness_window_s=freshness_s,
+            obs=self.obs,
         )
         self.validator = validator if validator is not None else HumannessValidator().fit()
         self.validity_s = validity_s
@@ -71,14 +80,34 @@ class HumanValidationService:
         message = self.receiver.receive(wire, now)
         if message is None:
             self.n_rejected_channel += 1
+            self.obs.inc("validations_total", outcome="rejected")
             return None
-        human = self.validator.is_human_features(np.asarray(message.sensor_features))
+        if self.obs.enabled:
+            t0 = perf_counter()
+            human = self.validator.is_human_features(np.asarray(message.sensor_features))
+            self.obs.observe(
+                "humanness_validation_latency_ms", (perf_counter() - t0) * 1000.0
+            )
+        else:
+            human = self.validator.is_human_features(np.asarray(message.sensor_features))
         if not human:
             self.n_non_human += 1
+        self.obs.inc(
+            "validations_total",
+            outcome="accepted-human" if human else "accepted-non-human",
+        )
         interaction = ValidatedInteraction(
             app_package=message.app_package,
             device_id=message.device_id,
             verified_at=now,
+            human=human,
+            trace_id=message.trace_id,
+        )
+        self.obs.emit(
+            "validation.registered",
+            t=now,
+            trace=message.trace_id,
+            app_package=message.app_package,
             human=human,
         )
         self._interactions.append(interaction)
@@ -101,6 +130,22 @@ class HumanValidationService:
             i.human and i.app_package == app_package and cutoff <= i.verified_at <= now
             for i in reversed(self._interactions)
         )
+
+    def recent_human_interaction(
+        self, app_package: str, now: float
+    ) -> Optional[ValidatedInteraction]:
+        """Most recent fresh verified-human interaction for the app, if any.
+
+        Pure read (no pruning, no side effects): used by the proxy's
+        observability layer to link a decision back to the proof that
+        authorized it without perturbing the registry state that
+        :meth:`has_recent_human` already maintains.
+        """
+        cutoff = now - self.validity_s
+        for i in reversed(self._interactions):
+            if i.human and i.app_package == app_package and cutoff <= i.verified_at <= now:
+                return i
+        return None
 
     def prune(self, now: float) -> None:
         """Drop interactions older than the validity window.

@@ -17,7 +17,10 @@ import hmac
 import json
 import secrets
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
+
+from ..obs import NULL_OBS, Observability
 
 __all__ = ["SecureKeystore", "SignedMessage", "pair", "KeystoreError"]
 
@@ -62,8 +65,9 @@ class SecureKeystore:
     mirroring the TEE guarantee FIAT relies on.
     """
 
-    def __init__(self, owner: str) -> None:
+    def __init__(self, owner: str, obs: Optional[Observability] = None) -> None:
         self.owner = owner
+        self.obs = obs if obs is not None else NULL_OBS
         self.__keys: Dict[str, bytes] = {}
 
     def generate_key(self, alias: str) -> None:
@@ -97,6 +101,16 @@ class SecureKeystore:
         Unknown aliases verify as ``False`` (an unauthorized device), not
         as an error: the proxy must reject, not crash, on foreign input.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._verify(message)
+        t0 = perf_counter()
+        ok = self._verify(message)
+        obs.observe("keystore_verify_latency_ms", (perf_counter() - t0) * 1000.0)
+        obs.inc("keystore_verifications_total", outcome="ok" if ok else "rejected")
+        return ok
+
+    def _verify(self, message: SignedMessage) -> bool:
         if message.key_alias not in self.__keys:
             return False
         expected = hmac.new(
@@ -106,7 +120,10 @@ class SecureKeystore:
 
 
 def pair(
-    phone_owner: str, proxy_owner: str, alias: str = "fiat-pairing"
+    phone_owner: str,
+    proxy_owner: str,
+    alias: str = "fiat-pairing",
+    obs: Optional[Observability] = None,
 ) -> Tuple[SecureKeystore, SecureKeystore]:
     """Local pairing: create two keystores sharing a fresh key.
 
@@ -115,8 +132,8 @@ def pair(
     the network afterwards.
     """
     shared = secrets.token_bytes(32)
-    phone = SecureKeystore(phone_owner)
-    proxy = SecureKeystore(proxy_owner)
+    phone = SecureKeystore(phone_owner, obs=obs)
+    proxy = SecureKeystore(proxy_owner, obs=obs)
     phone.install_key(alias, shared)
     proxy.install_key(alias, shared)
     return phone, proxy

@@ -13,10 +13,12 @@ proxy's access control (§5.4) operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..net.packet import Packet, TrafficClass
 from ..net.trace import Trace
+from ..obs import Observability
 
 __all__ = ["UnpredictableEvent", "group_events", "EVENT_GAP_SECONDS"]
 
@@ -95,6 +97,7 @@ def group_events(
     predictable: Sequence[bool],
     gap: float = EVENT_GAP_SECONDS,
     per_device: bool = True,
+    obs: Optional[Observability] = None,
 ) -> List[UnpredictableEvent]:
     """Group unpredictable packets of ``trace`` into events.
 
@@ -111,12 +114,31 @@ def group_events(
         When true (default), events never span devices: each device's
         unpredictable packets are grouped independently, matching the
         testbed analysis where traffic is labelled per device.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; when enabled,
+        the pass feeds ``event_grouping_latency_ms`` and counts grouped
+        events/packets.
     """
     if len(predictable) != len(trace):
         raise ValueError(
             f"mask length {len(predictable)} does not match trace length {len(trace)}"
         )
+    if obs is not None and obs.enabled:
+        t0 = perf_counter()
+        events = _group_events(trace, predictable, gap, per_device)
+        obs.observe("event_grouping_latency_ms", (perf_counter() - t0) * 1000.0)
+        obs.inc("events_grouped_total", float(len(events)))
+        obs.inc("event_packets_total", float(sum(len(e) for e in events)))
+        return events
+    return _group_events(trace, predictable, gap, per_device)
 
+
+def _group_events(
+    trace: Trace,
+    predictable: Sequence[bool],
+    gap: float,
+    per_device: bool,
+) -> List[UnpredictableEvent]:
     open_events: Dict[str, UnpredictableEvent] = {}
     finished: List[UnpredictableEvent] = []
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from ..obs import NULL_OBS, Observability
+
 __all__ = ["BreakerState", "CircuitBreaker"]
 
 
@@ -28,6 +30,14 @@ class BreakerState(enum.Enum):
     HALF_OPEN = "half-open"
 
 
+#: Gauge encoding of breaker states for the metrics registry.
+_STATE_GAUGE = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
+
+
 class CircuitBreaker:
     """Consecutive-failure circuit breaker with timed recovery probes."""
 
@@ -36,6 +46,7 @@ class CircuitBreaker:
         name: str = "",
         failure_threshold: int = 3,
         recovery_timeout_s: float = 60.0,
+        obs: Optional[Observability] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -51,6 +62,13 @@ class CircuitBreaker:
         self.n_probes = 0
         self.n_recoveries = 0
         self.n_rejected = 0
+        self._obs = obs if obs is not None else NULL_OBS
+        self._obs.gauge("breaker_state", 0.0, component=name or "anonymous")
+
+    def _transition(self, transition: str) -> None:
+        component = self.name or "anonymous"
+        self._obs.inc("breaker_transitions_total", component=component, transition=transition)
+        self._obs.gauge("breaker_state", _STATE_GAUGE[self.state], component=component)
 
     def allow_request(self, now: float) -> bool:
         """Whether the caller should attempt the protected call at ``now``.
@@ -68,8 +86,10 @@ class CircuitBreaker:
             ):
                 self.state = BreakerState.HALF_OPEN
                 self.n_probes += 1
+                self._transition("probe")
                 return True
             self.n_rejected += 1
+            self._transition("reject")
             return False
         # HALF_OPEN: the probe call is in flight; in this synchronous
         # simulation each call resolves immediately, so further requests
@@ -89,6 +109,7 @@ class CircuitBreaker:
         self._opened_at = None
         if recovered:
             self.n_recoveries += 1
+            self._transition("close")
         return recovered
 
     def record_failure(self, now: float) -> bool:
@@ -108,5 +129,6 @@ class CircuitBreaker:
             self._opened_at = now
             if newly_opened:
                 self.n_opens += 1
+                self._transition("open")
             return newly_opened
         return False

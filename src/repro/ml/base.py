@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import copy
 import inspect
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -70,6 +71,26 @@ class Classifier:
         raise NotImplementedError(
             f"{type(self).__name__} does not implement predict_proba"
         )
+
+    def timed_predict(self, X: Any, obs: Any = None, **labels: Any) -> np.ndarray:
+        """Predict, feeding inference latency into an observability handle.
+
+        ``obs`` is an (optional) :class:`repro.obs.Observability`; when
+        absent or disabled this is exactly :meth:`predict`.  Latency
+        lands in the ``ml_predict_latency_ms`` histogram labelled with
+        the concrete model class plus any caller-supplied labels.
+        """
+        if obs is None or not obs.enabled:
+            return self.predict(X)
+        t0 = perf_counter()
+        out = self.predict(X)
+        obs.observe(
+            "ml_predict_latency_ms",
+            (perf_counter() - t0) * 1000.0,
+            model=type(self).__name__,
+            **labels,
+        )
+        return out
 
     def score(self, X: Any, y: Any) -> float:
         """Mean accuracy on ``(X, y)``."""

@@ -16,6 +16,7 @@ microsecond timestamps, IPv4 without options, TCP without options.
 
 from __future__ import annotations
 
+import logging
 import struct
 from typing import List, Optional
 
@@ -23,6 +24,8 @@ from .packet import TLS_NONE, Direction, Packet
 from .trace import Trace
 
 __all__ = ["write_pcap", "read_pcap", "PCAP_MAGIC"]
+
+logger = logging.getLogger(__name__)
 
 PCAP_MAGIC = 0xA1B2C3D4
 _LINKTYPE_ETHERNET = 1
@@ -129,6 +132,7 @@ def read_pcap(path: str, lan_prefix: str = "192.168.") -> Trace:
     Non-IPv4 or non-TCP/UDP frames are skipped.
     """
     packets: List[Packet] = []
+    n_skipped = 0
     with open(path, "rb") as handle:
         header = handle.read(24)
         if len(header) < 24:
@@ -151,6 +155,10 @@ def read_pcap(path: str, lan_prefix: str = "192.168.") -> Trace:
             packet = _parse_frame(frame, seconds + micros / 1e6, lan_prefix)
             if packet is not None:
                 packets.append(packet)
+            else:
+                n_skipped += 1
+    if n_skipped:
+        logger.debug("read_pcap(%s): skipped %d non-IPv4/TCP/UDP frames", path, n_skipped)
     return Trace(packets, name=path)
 
 

@@ -1,0 +1,163 @@
+"""Exporters: JSONL audit/event stream and metrics-snapshot files.
+
+The audit stream is an append-only sequence of JSON records, one per
+line, each carrying a monotonically increasing ``seq``, a ``kind``
+(``proof.signed``, ``proxy.decision``, ...), the simulated time ``t``
+and — when the record belongs to a trace — the ``trace`` ID minted by
+:class:`~repro.obs.tracing.TraceIdMinter`.  Records never contain wall
+clock readings, so the stream of a seeded scenario is reproducible and
+diffable run-to-run.
+
+Snapshots are :class:`~repro.obs.registry.MetricsSnapshot` objects
+serialised to canonical JSON; benches additionally wrap them in a
+``BENCH_*.json`` envelope with derived headline numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Dict, Iterable, List, Optional, Union
+
+from .registry import MetricsSnapshot
+
+__all__ = [
+    "JsonlAuditSink",
+    "MemoryAuditSink",
+    "read_audit",
+    "events_for_trace",
+    "save_snapshot",
+    "load_snapshot",
+    "write_bench_snapshot",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class JsonlAuditSink:
+    """Writes audit records as one canonical JSON object per line."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.n_emitted = 0
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Append one record, stamping its sequence number."""
+        payload = dict(record)
+        payload["seq"] = self.n_emitted
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self.n_emitted += 1
+
+    def flush(self) -> None:
+        """Flush the underlying handle."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close (only closes handles this sink opened)."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlAuditSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class MemoryAuditSink:
+    """In-memory audit sink for tests and report previews."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    @property
+    def n_emitted(self) -> int:
+        """Number of records captured."""
+        return len(self.records)
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Append one record, stamping its sequence number."""
+        payload = dict(record)
+        payload["seq"] = len(self.records)
+        self.records.append(payload)
+
+    def flush(self) -> None:
+        """No-op (records live in memory)."""
+
+    def close(self) -> None:
+        """No-op (records live in memory)."""
+
+
+def read_audit(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL audit stream, skipping (and logging) corrupt lines."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                logger.warning("skipping corrupt audit line %d of %s", lineno, path)
+    return records
+
+
+def events_for_trace(
+    records: Iterable[Dict[str, object]], trace_id: str
+) -> List[Dict[str, object]]:
+    """All records of one trace, in emission order.
+
+    Includes records that *reference* the trace from another one (for
+    example a ``proxy.decision`` whose ``proof_trace`` names the proof
+    that authorized it), so querying a proof ID returns the full
+    proof-send -> proxy-decision chain.
+    """
+    matched = [
+        r
+        for r in records
+        if r.get("trace") == trace_id or r.get("proof_trace") == trace_id
+    ]
+    matched.sort(key=lambda r: r.get("seq", 0))
+    return matched
+
+
+def save_snapshot(snapshot: MetricsSnapshot, path: str) -> None:
+    """Write a metrics snapshot as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot.to_json() + "\n")
+
+
+def load_snapshot(path: str) -> MetricsSnapshot:
+    """Inverse of :func:`save_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return MetricsSnapshot.from_json(handle.read())
+
+
+def write_bench_snapshot(
+    path: str,
+    bench: str,
+    headline: Dict[str, object],
+    snapshot: Optional[MetricsSnapshot] = None,
+) -> None:
+    """Write a machine-readable ``BENCH_*.json`` result file.
+
+    ``headline`` carries the bench's derived numbers (packets/sec, p95
+    latencies, drop counts); ``snapshot`` optionally embeds the full
+    registry state backing them.
+    """
+    document = {
+        "bench": bench,
+        "headline": headline,
+        "metrics": None if snapshot is None else json.loads(snapshot.to_json()),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    logger.info("wrote bench snapshot %s", path)

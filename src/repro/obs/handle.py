@@ -1,0 +1,125 @@
+"""The injectable ``Observability`` handle shared by every component.
+
+One handle bundles the three observability channels: the metrics
+registry (counters/gauges/histograms), the deterministic trace-ID
+minter, and an optional JSONL audit sink.  It travels on
+:attr:`repro.core.config.FiatConfig.obs`; components fall back to the
+module-level :data:`NULL_OBS` when none is configured, so call sites
+never branch on ``None``.
+
+Instrumentation is behaviour-neutral by construction: a disabled handle
+turns every operation into a no-op, enabled handles only write to the
+registry/audit stream (never into simulation state), and trace IDs come
+from a seeded counter — ``FiatProxy.decision_log()`` stays
+byte-identical with observability on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from .exporter import JsonlAuditSink, MemoryAuditSink
+from .registry import MetricsRegistry, MetricsSnapshot
+from .timing import NULL_TIMER, LatencyTimer
+from .tracing import Span, TraceIdMinter
+
+__all__ = ["Observability", "NULL_OBS"]
+
+AuditSink = Union[JsonlAuditSink, MemoryAuditSink]
+
+
+class Observability:
+    """Metrics registry + trace minter + audit sink behind one switch."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        audit: Optional[AuditSink] = None,
+        trace_seed: int = 0,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.audit = audit
+        self.minter = TraceIdMinter(seed=trace_seed)
+
+    # -- metrics -----------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Increment a counter (no-op when disabled)."""
+        if self.enabled:
+            self.registry.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge (no-op when disabled)."""
+        if self.enabled:
+            self.registry.set_gauge(name, value, **labels)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> None:
+        """Record a histogram observation (no-op when disabled)."""
+        if self.enabled:
+            self.registry.observe(name, value, boundaries=boundaries, **labels)
+
+    def timer(self, name: str, **labels: object):
+        """A latency timer context manager (shared no-op when disabled)."""
+        if not self.enabled:
+            return NULL_TIMER
+        return LatencyTimer(self.registry, name, labels)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Snapshot the registry (empty snapshot when disabled)."""
+        return self.registry.snapshot()
+
+    # -- tracing -----------------------------------------------------------------
+
+    def mint_trace(self, kind: str = "trace") -> str:
+        """Mint a deterministic trace ID; empty string when disabled.
+
+        The empty string is the "no trace" sentinel everywhere: wire
+        metadata omits it, audit emission skips it, and consumers treat
+        it as absent — so disabled runs carry zero tracing overhead.
+        """
+        if not self.enabled:
+            return ""
+        return self.minter.mint(kind)
+
+    # -- audit stream ------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        t: Optional[float] = None,
+        trace: Optional[str] = None,
+        **attrs: object,
+    ) -> None:
+        """Append one record to the audit stream, if one is attached.
+
+        ``t`` is simulated time; never pass wall-clock readings (they
+        would break run-to-run reproducibility of the stream).
+        """
+        if not self.enabled or self.audit is None:
+            return
+        record: Dict[str, object] = {"kind": kind}
+        if t is not None:
+            record["t"] = t
+        if trace:
+            record["trace"] = trace
+        record.update(attrs)
+        self.audit.emit(record)
+
+    def emit_span(self, span: Span) -> None:
+        """Emit a finished :class:`~repro.obs.tracing.Span`."""
+        if not self.enabled or self.audit is None:
+            return
+        self.audit.emit(span.to_record())
+
+
+#: Shared disabled handle: every operation is a no-op, so components can
+#: unconditionally call through it.  Do not enable or mutate it.
+NULL_OBS = Observability(enabled=False)

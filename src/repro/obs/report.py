@@ -1,0 +1,135 @@
+"""Text dashboard rendering for saved snapshots and audit streams.
+
+Backs the ``fiat-repro obs-report`` subcommand: given a metrics
+snapshot (and optionally a JSONL audit stream) it renders the operator
+view — top counters, latency percentiles per hot path, circuit-breaker
+states, drop/rejection reasons — and can reconstruct the full event
+chain of one trace ID.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .exporter import events_for_trace
+from .registry import Histogram, MetricsSnapshot
+
+__all__ = ["render_report", "render_trace"]
+
+#: Gauge values of ``breaker_state`` back to human-readable states.
+_BREAKER_STATES = {0.0: "closed", 1.0: "half-open", 2.0: "open"}
+
+
+def _rows(title: str, header: Sequence[str], rows: List[Sequence[object]]) -> List[str]:
+    lines = [f"-- {title} " + "-" * max(0, 58 - len(title))]
+    if not rows:
+        lines.append("  (none)")
+        return lines
+    widths = [
+        max(len(str(h)), max(len(str(r[i])) for r in rows))
+        for i, h in enumerate(header)
+    ]
+    lines.append("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  " + "  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return lines
+
+
+def _series_name(name: str, labels: str) -> str:
+    return f"{name}{{{labels}}}" if labels else name
+
+
+def render_report(
+    snapshot: MetricsSnapshot,
+    audit: Optional[Iterable[Dict[str, object]]] = None,
+    top: int = 12,
+) -> str:
+    """Render the operator dashboard for one metrics snapshot."""
+    lines: List[str] = ["=== FIAT observability report ==="]
+
+    counter_rows: List[Tuple[str, float]] = []
+    for name, series in snapshot.counters.items():
+        for labels, value in series.items():
+            counter_rows.append((_series_name(name, labels), value))
+    counter_rows.sort(key=lambda kv: (-kv[1], kv[0]))
+    lines.extend(
+        _rows(
+            f"top counters ({min(top, len(counter_rows))} of {len(counter_rows)})",
+            ("counter", "value"),
+            [(n, f"{v:g}") for n, v in counter_rows[:top]],
+        )
+    )
+
+    latency_rows: List[Sequence[object]] = []
+    for name in sorted(snapshot.histograms):
+        for labels in sorted(snapshot.histograms[name]):
+            histogram = snapshot.histogram(name, labels)
+            if histogram is None or histogram.count == 0:
+                continue
+            latency_rows.append(
+                (
+                    _series_name(name, labels),
+                    histogram.count,
+                    f"{histogram.percentile(0.50):.4g}",
+                    f"{histogram.percentile(0.95):.4g}",
+                    f"{histogram.percentile(0.99):.4g}",
+                    f"{histogram.max:.4g}",
+                )
+            )
+    lines.extend(
+        _rows("latency histograms (ms)", ("series", "n", "p50", "p95", "p99", "max"), latency_rows)
+    )
+
+    breaker_rows: List[Sequence[object]] = []
+    for labels, value in sorted(snapshot.gauges.get("breaker_state", {}).items()):
+        component = dict(
+            pair.split("=", 1) for pair in labels.split(",") if "=" in pair
+        ).get("component", labels)
+        state = _BREAKER_STATES.get(value, f"? ({value:g})")
+        opens = snapshot.counters.get("breaker_transitions_total", {}).get(
+            f"component={component},transition=open", 0
+        )
+        breaker_rows.append((component, state, f"{opens:g}"))
+    lines.extend(_rows("circuit breakers", ("component", "state", "opens"), breaker_rows))
+
+    drop_rows: List[Sequence[object]] = []
+    for name in ("proxy_drops_total", "auth_rejections_total"):
+        for labels, value in sorted(snapshot.counters.get(name, {}).items()):
+            drop_rows.append((_series_name(name, labels), f"{value:g}"))
+    lines.extend(_rows("drop / rejection reasons", ("series", "count"), drop_rows))
+
+    if audit is not None:
+        records = list(audit)
+        kinds: Dict[str, int] = {}
+        traces = set()
+        for record in records:
+            kinds[str(record.get("kind"))] = kinds.get(str(record.get("kind")), 0) + 1
+            if record.get("trace"):
+                traces.add(record["trace"])
+        lines.extend(
+            _rows(
+                f"audit stream ({len(records)} records, {len(traces)} traces)",
+                ("kind", "count"),
+                sorted(kinds.items()),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_trace(records: Iterable[Dict[str, object]], trace_id: str) -> str:
+    """Render the ordered event chain of one trace ID."""
+    chain = events_for_trace(records, trace_id)
+    if not chain:
+        return f"trace {trace_id}: no matching audit records\n"
+    lines = [f"=== trace {trace_id} ({len(chain)} records) ==="]
+    for record in chain:
+        t = record.get("t")
+        stamp = f"t={float(t):10.3f}" if isinstance(t, (int, float)) else " " * 12
+        extras = {
+            k: v
+            for k, v in sorted(record.items())
+            if k not in ("kind", "t", "seq", "trace")
+        }
+        detail = " ".join(f"{k}={v}" for k, v in extras.items())
+        lines.append(f"  {stamp}  {str(record.get('kind')):24s} {detail}".rstrip())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""Hot-path profiling timers (``perf_counter``-based, monkeypatch-free).
+
+The timers feed wall-clock latencies into registry histograms so the
+Table-7 latency model in :mod:`repro.core.latency` can be cross-checked
+against what the pipeline actually costs.  Two usage shapes:
+
+* :class:`LatencyTimer` — a reusable ``with`` block for coarse sections
+  (classifier inference, proof verification, event grouping);
+* the inline guard pattern for per-packet paths, where even a no-op
+  context manager is measurable::
+
+      if obs.enabled:
+          t0 = time.perf_counter()
+          result = hot_call()
+          obs.observe("...", (time.perf_counter() - t0) * 1000.0)
+      else:
+          result = hot_call()
+
+Per-packet paths additionally *sample* their timing — at most one timed
+call per :data:`TIMING_SAMPLE_INTERVAL_S` seconds of **simulated** time
+— because at sub-microsecond body durations even the two
+``perf_counter`` reads dominate.  Gating on the packet's own timestamp
+costs a single float compare per packet (the proxy pins the threshold
+to ``inf`` when observability is off) and is deterministic with respect
+to the packet stream, while keeping the histograms statistically
+faithful and instrumentation overhead within the <10 % throughput
+budget.
+
+Wall-clock durations go **only** into metrics, never into simulation
+state or the audit stream, so instrumentation cannot violate the
+determinism contract of :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+__all__ = ["LatencyTimer", "NULL_TIMER", "TIMING_SAMPLE_INTERVAL_S"]
+
+#: Per-packet latency histograms record at most one call per this many
+#: seconds of simulated (packet-timestamp) time.  At IoT traffic rates
+#: this still yields hundreds of samples per simulated hour while the
+#: histogram write itself (a few µs) stays far below 1 % of packet
+#: processing time.
+TIMING_SAMPLE_INTERVAL_S = 30.0
+
+
+class LatencyTimer:
+    """Context manager recording its body's duration as milliseconds."""
+
+    __slots__ = ("_registry", "_name", "_labels", "_t0", "last_ms")
+
+    def __init__(self, registry, name: str, labels: Optional[Dict[str, object]] = None) -> None:
+        self._registry = registry
+        self._name = name
+        self._labels = labels or {}
+        self._t0 = 0.0
+        #: duration of the most recent completed block, milliseconds
+        self.last_ms = 0.0
+
+    def __enter__(self) -> "LatencyTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.last_ms = (perf_counter() - self._t0) * 1000.0
+        self._registry.observe(self._name, self.last_ms, **self._labels)
+
+
+class _NullTimer:
+    """Shared no-op stand-in returned by disabled handles."""
+
+    __slots__ = ()
+    last_ms = 0.0
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: Singleton no-op timer (safe to share: it holds no state).
+NULL_TIMER = _NullTimer()

@@ -1,0 +1,83 @@
+"""Deterministic trace-ID minting and span records.
+
+A *trace* follows one logical operation across FIAT's layers: a
+humanness proof from sensor sampling through signing, (re)transmission
+and the replay-cache check to the proxy decision it ultimately backs,
+or one unpredictable event from its first packet to allow/drop.
+
+Trace IDs must never perturb the determinism contract of
+:mod:`repro.faults` (identical seeds + identical plan = byte-identical
+decision logs), so they derive from a seeded counter — never from wall
+clock and never from any RNG stream shared with the simulation.  Two
+runs of the same seeded scenario mint the same IDs in the same order,
+which makes the JSONL audit stream itself reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["TraceIdMinter", "Span"]
+
+
+class TraceIdMinter:
+    """Seeded sequential trace-ID factory.
+
+    IDs look like ``proof-7f3a9c01b2d4``: a caller-supplied kind prefix
+    plus 12 hex characters of ``blake2b(seed:sequence)``.  The hash
+    keeps IDs from colliding across differently-seeded minters while the
+    sequence number keeps them deterministic within one run.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._sequence = 0
+
+    @property
+    def n_minted(self) -> int:
+        """How many IDs this minter has produced."""
+        return self._sequence
+
+    def mint(self, kind: str = "trace") -> str:
+        """Produce the next trace ID for ``kind``."""
+        token = f"{self.seed}:{self._sequence}".encode("utf-8")
+        digest = hashlib.blake2b(token, digest_size=6).hexdigest()
+        self._sequence += 1
+        return f"{kind}-{digest}"
+
+
+@dataclass
+class Span:
+    """One step of a trace: a named interval in simulated time.
+
+    Spans are plain records (no context-manager magic on the hot path):
+    the caller stamps ``t_start``/``t_end`` with simulated-clock values
+    and attaches free-form attributes, then emits the span onto the
+    audit stream via :meth:`Observability.emit_span
+    <repro.obs.handle.Observability.emit_span>`.
+    """
+
+    trace_id: str
+    name: str
+    t_start: float
+    t_end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def finish(self, t_end: float) -> "Span":
+        """Close the span at ``t_end``; returns ``self`` for chaining."""
+        self.t_end = t_end
+        return self
+
+    def to_record(self) -> Dict[str, object]:
+        """Flatten into an audit-stream record payload."""
+        record: Dict[str, object] = {
+            "kind": f"span:{self.name}",
+            "trace": self.trace_id,
+            "t": self.t_start,
+        }
+        if self.t_end is not None:
+            record["t_end"] = self.t_end
+        record.update(self.attrs)
+        return record

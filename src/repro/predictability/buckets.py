@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..net.dns import DnsTable
 from ..net.flows import FlowDefinition, flow_key
 from ..net.packet import Packet
 from ..net.trace import Trace
+from ..obs import NULL_OBS, Observability
 
 __all__ = ["BucketPredictor", "label_predictable", "quantize_iat"]
 
@@ -80,6 +82,13 @@ class BucketPredictor:
         A new IAT matches a learned one when its bin is within this many
         bins of a previously seen bin (0 = exact bin match).  One
         neighbour bin absorbs boundary jitter.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle backing
+        :meth:`timed_observe`, which feeds the
+        ``bucket_lookup_latency_ms`` histogram.  :meth:`observe` itself
+        is never timed: the lookup body is sub-microsecond, so even a
+        per-call sampling check would dominate it — the caller (the FIAT
+        proxy) decides when to route a call through the timed variant.
     """
 
     def __init__(
@@ -88,11 +97,13 @@ class BucketPredictor:
         dns: Optional[DnsTable] = None,
         resolution: float = DEFAULT_RESOLUTION,
         neighbor_bins: int = 1,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.definition = definition
         self.dns = dns
         self.resolution = resolution
         self.neighbor_bins = neighbor_bins
+        self._obs = obs if obs is not None else NULL_OBS
         self._buckets: Dict[Tuple[Hashable, ...], _BucketState] = defaultdict(_BucketState)
         self._n_observed = 0
 
@@ -107,6 +118,21 @@ class BucketPredictor:
             if state.iat_bins.get(iat_bin + delta, 0) > 0:
                 return True
         return False
+
+    def timed_observe(self, packet: Packet) -> bool:
+        """:meth:`observe` one packet, feeding ``bucket_lookup_latency_ms``.
+
+        Unconditionally timed — callers are expected to sample (the FIAT
+        proxy routes at most one call per
+        :data:`~repro.obs.TIMING_SAMPLE_INTERVAL_S` simulated seconds
+        through here), because the lookup body is sub-microsecond and a
+        per-call check here would cost more than the <10 %
+        instrumentation budget allows.
+        """
+        t0 = perf_counter()
+        matched = self.observe(packet)
+        self._obs.observe("bucket_lookup_latency_ms", (perf_counter() - t0) * 1000.0)
+        return matched
 
     def observe(self, packet: Packet) -> bool:
         """Feed one packet; return ``True`` when it matches a learned IAT.

@@ -12,6 +12,7 @@ proposes for few-device households).
 from __future__ import annotations
 
 import json
+import logging
 import secrets
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -20,9 +21,12 @@ import numpy as np
 
 from ..crypto.keystore import SecureKeystore, SignedMessage
 from ..crypto.replay import ReplayCache
+from ..obs import NULL_OBS, Observability
 from .transport import NetworkPath, Transport, connection_latency
 
 __all__ = ["AuthMessage", "AuthChannel", "ChannelReceiver", "DeliveryResult"]
+
+logger = logging.getLogger(__name__)
 
 #: Maximum accepted age of an authentication message, seconds.
 FRESHNESS_WINDOW_S = 30.0
@@ -37,6 +41,10 @@ class AuthMessage:
     sensor_features: Tuple[float, ...]
     sent_at: float
     nonce: str
+    #: observability trace ID carried as wire metadata ("" = untraced).
+    #: Signed with the rest of the payload, so an attacker cannot
+    #: re-attribute a proof to another trace.
+    trace_id: str = ""
 
     def to_payload(self) -> bytes:
         """Serialise for signing."""
@@ -46,6 +54,7 @@ class AuthMessage:
             "sensor_features": list(self.sensor_features),
             "sent_at": self.sent_at,
             "nonce": self.nonce,
+            "trace_id": self.trace_id,
         }
         return json.dumps(body, sort_keys=True).encode("utf-8")
 
@@ -59,6 +68,7 @@ class AuthMessage:
             sensor_features=tuple(float(v) for v in body["sensor_features"]),
             sent_at=float(body["sent_at"]),
             nonce=str(body["nonce"]),
+            trace_id=str(body.get("trace_id", "")),
         )
 
 
@@ -94,13 +104,16 @@ class AuthChannel:
         app_package: str,
         sensor_features: Sequence[float],
         now: float,
+        trace_id: str = "",
     ) -> bytes:
         """Sign a humanness proof without transmitting it.
 
         Used by the reliable sender, which retransmits the same signed
         wire bytes (same nonce) until the proxy acknowledges: a copy
         arriving after the original registered is absorbed by the replay
-        cache instead of double-counting the interaction.
+        cache instead of double-counting the interaction.  ``trace_id``
+        rides inside the signed payload so the receiving side can link
+        the proof back to its sender-side trace.
         """
         message = AuthMessage(
             app_package=app_package,
@@ -108,6 +121,7 @@ class AuthChannel:
             sensor_features=tuple(float(v) for v in sensor_features),
             sent_at=now,
             nonce=secrets.token_hex(12),
+            trace_id=trace_id,
         )
         return self.keystore.sign(self.key_alias, message.to_payload()).to_wire()
 
@@ -120,9 +134,10 @@ class AuthChannel:
         app_package: str,
         sensor_features: Sequence[float],
         now: float,
+        trace_id: str = "",
     ) -> DeliveryResult:
         """Sign a humanness proof and deliver it over the modelled path."""
-        wire = self.prepare(app_package, sensor_features, now)
+        wire = self.prepare(app_package, sensor_features, now, trace_id=trace_id)
         return DeliveryResult(wire=wire, latency_ms=self.sample_latency())
 
 
@@ -134,11 +149,19 @@ class ChannelReceiver:
         keystore: SecureKeystore,
         replay_cache: Optional[ReplayCache] = None,
         freshness_window_s: float = FRESHNESS_WINDOW_S,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.keystore = keystore
         self.replay_cache = replay_cache if replay_cache is not None else ReplayCache()
         self.freshness_window_s = freshness_window_s
+        self.obs = obs if obs is not None else NULL_OBS
         self.rejections: List[str] = []
+
+    def _reject(self, reason: str, now: float, trace_id: str = "") -> None:
+        self.rejections.append(reason)
+        logger.debug("auth message rejected (%s) at t=%.3f", reason, now)
+        self.obs.inc("auth_rejections_total", reason=reason)
+        self.obs.emit("channel.reject", t=now, trace=trace_id, reason=reason)
 
     def receive(self, wire: bytes, now: float) -> Optional[AuthMessage]:
         """Verify an incoming proof; return it if acceptable, else ``None``.
@@ -152,22 +175,26 @@ class ChannelReceiver:
         try:
             signed = SignedMessage.from_wire(wire)
         except (ValueError, KeyError):
-            self.rejections.append("malformed")
+            self._reject("malformed", now)
             return None
         if not self.keystore.verify(signed):
-            self.rejections.append("bad-signature")
+            self._reject("bad-signature", now)
             return None
         try:
             message = AuthMessage.from_payload(signed.payload)
         except (KeyError, ValueError, TypeError):
             # Signed but malformed: a buggy (or hostile) app shipped a
             # payload missing a key or carrying non-numeric features.
-            self.rejections.append("malformed")
+            self._reject("malformed", now)
             return None
         if not (now - self.freshness_window_s <= message.sent_at <= now + 1.0):
-            self.rejections.append("stale")
+            self._reject("stale", now, message.trace_id)
             return None
         if not self.replay_cache.check_and_register(message.nonce, now):
-            self.rejections.append("replay")
+            # Replays link back to the original proof's trace: the audit
+            # stream shows retransmitted copies being absorbed here.
+            self._reject("replay", now, message.trace_id)
             return None
+        self.obs.inc("auth_accepted_total")
+        self.obs.emit("channel.accept", t=now, trace=message.trace_id)
         return message

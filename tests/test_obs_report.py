@@ -1,0 +1,124 @@
+"""CLI-level observability tests: ``evaluate`` export + ``obs-report``."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import load_snapshot, read_audit
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    """One small instrumented evaluate run exporting both artefacts."""
+    directory = tmp_path_factory.mktemp("obs")
+    metrics = str(directory / "metrics.json")
+    audit = str(directory / "audit.jsonl")
+    code = main(
+        [
+            "evaluate",
+            "--devices", "SP10",
+            "--manual", "8",
+            "--non-manual", "4",
+            "--attacks", "2",
+            "--seed", "0",
+            "--metrics-out", metrics,
+            "--audit-out", audit,
+        ]
+    )
+    assert code == 0
+    return metrics, audit
+
+
+class TestEvaluateExport:
+    def test_metrics_snapshot_round_trips(self, exported):
+        metrics, _ = exported
+        snapshot = load_snapshot(metrics)
+        assert snapshot.counter_total("proxy_packets_total") > 0
+        assert snapshot.counter_total("proxy_decisions_total") > 0
+        assert snapshot.counter_total("proofs_sent_total") > 0
+        # the file itself is plain JSON an external dashboard can read
+        with open(metrics, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        assert "counters" in raw and "histograms" in raw
+
+    def test_audit_stream_links_proofs_to_decisions(self, exported):
+        _, audit = exported
+        records = read_audit(audit)
+        kinds = {r["kind"] for r in records}
+        assert {"proof.signed", "channel.accept", "proxy.decision"} <= kinds
+        assert any(r.get("proof_trace") for r in records if r["kind"] == "proxy.decision")
+        # seq is a stable total order for consumers
+        assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+
+
+class TestObsReport:
+    def test_dashboard_renders(self, exported, capsys):
+        metrics, audit = exported
+        assert main(["obs-report", metrics, "--audit", audit]) == 0
+        out = capsys.readouterr().out
+        assert "FIAT observability report" in out
+        assert "top counters" in out
+        assert "latency histograms (ms)" in out
+        assert "proxy_packets_total" in out
+        assert "audit stream" in out
+
+    def test_dashboard_without_audit(self, exported, capsys):
+        metrics, _ = exported
+        assert main(["obs-report", metrics]) == 0
+        assert "audit stream" not in capsys.readouterr().out
+
+    def test_trace_query_returns_chain(self, exported, capsys):
+        _, audit = exported
+        records = read_audit(audit)
+        decision = next(
+            r for r in records if r["kind"] == "proxy.decision" and r.get("proof_trace")
+        )
+        trace = decision["proof_trace"]
+        assert main(["obs-report", "--audit", audit, "--trace-id", trace]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace}" in out
+        assert "proof.signed" in out
+        assert "proxy.decision" in out
+
+    def test_unknown_trace_is_reported(self, exported, capsys):
+        _, audit = exported
+        assert main(["obs-report", "--audit", audit, "--trace-id", "proof-nope"]) == 0
+        assert "no matching audit records" in capsys.readouterr().out
+
+    def test_trace_query_requires_audit(self, capsys):
+        assert main(["obs-report", "--trace-id", "proof-x"]) == 1
+
+    def test_snapshot_required_without_trace(self, exported, capsys):
+        _, audit = exported
+        assert main(["obs-report", "--audit", audit]) == 1
+
+
+class TestVerbosityFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(["-v", "obs-report", "x.json"])
+        assert args.verbose == 1
+        args = build_parser().parse_args(["-q", "obs-report", "x.json"])
+        assert args.quiet is True
+
+    def test_verbosity_sets_root_level(self):
+        from repro.cli import _configure_logging
+
+        try:
+            _configure_logging(verbosity=0, quiet=True)
+            assert logging.getLogger().level == logging.ERROR
+            _configure_logging(verbosity=0, quiet=False)
+            assert logging.getLogger().level == logging.WARNING
+            _configure_logging(verbosity=1, quiet=False)
+            assert logging.getLogger().level == logging.INFO
+            _configure_logging(verbosity=2, quiet=False)
+            assert logging.getLogger().level == logging.DEBUG
+        finally:
+            logging.getLogger().setLevel(logging.WARNING)
+
+    def test_package_root_has_null_handler(self):
+        import repro
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)

@@ -1,0 +1,135 @@
+"""Trace-ID propagation and the observability behaviour-neutrality contract.
+
+The two load-bearing invariants of ``repro.obs``:
+
+* one trace ID, minted when the app signs a humanness proof, survives
+  every retransmission of that proof and is queryable from the audit
+  stream all the way to the proxy decision it backed;
+* attaching a fully enabled :class:`~repro.obs.Observability` handle
+  changes nothing about behaviour — ``FiatProxy.decision_log()`` is
+  byte-identical with observability on or off, even under an active
+  fault plan.
+"""
+
+from repro.core import FiatConfig, FiatSystem
+from repro.faults import FaultPlan
+from repro.obs import MemoryAuditSink, Observability, events_for_trace
+
+DEVICES = ["SP10"]
+
+
+def _run(obs=None, loss_rate=0.0, n_manual=20):
+    system = FiatSystem(
+        DEVICES, config=FiatConfig(bootstrap_s=0.0, obs=obs), seed=0
+    )
+    system.run_accuracy(
+        n_manual=n_manual,
+        n_non_manual=5,
+        n_attacks=2,
+        faults=FaultPlan(seed=7, loss_rate=loss_rate),
+    )
+    return system
+
+
+def _audited_run(loss_rate=0.0, n_manual=20):
+    sink = MemoryAuditSink()
+    obs = Observability(audit=sink)
+    system = _run(obs=obs, loss_rate=loss_rate, n_manual=n_manual)
+    return system, sink.records
+
+
+class TestByteIdentity:
+    def test_decision_log_identical_with_obs_on_and_off(self):
+        plain = _run(obs=None)
+        instrumented = _run(obs=Observability(audit=MemoryAuditSink()))
+        log = plain.proxy.decision_log()
+        assert log == instrumented.proxy.decision_log()
+        assert len(log) > 100  # the comparison is not vacuous
+
+    def test_decision_log_identical_under_faults(self):
+        plain = _run(obs=None, loss_rate=0.3)
+        instrumented = _run(obs=Observability(), loss_rate=0.3)
+        assert plain.proxy.decision_log() == instrumented.proxy.decision_log()
+
+    def test_event_decisions_carry_no_obs_fields(self):
+        # EventDecision is the determinism surface: instrumenting must
+        # not widen it (trace IDs live only in metrics/audit records).
+        from repro.core.proxy import EventDecision
+
+        fields = set(EventDecision.__dataclass_fields__)
+        assert not {f for f in fields if "trace" in f or "obs" in f}
+
+
+class TestTraceMinting:
+    def test_sequential_ids_are_seeded_not_wall_clock(self):
+        from repro.obs import TraceIdMinter
+
+        a = TraceIdMinter(seed=3)
+        b = TraceIdMinter(seed=3)
+        ids = [a.mint("proof") for _ in range(5)]
+        assert ids == [b.mint("proof") for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert all(i.startswith("proof-") for i in ids)
+        assert a.n_minted == 5
+
+    def test_disabled_handle_mints_empty_sentinel(self):
+        assert Observability(enabled=False).mint_trace("proof") == ""
+
+
+class TestTracePropagation:
+    def test_retransmissions_share_the_proof_trace(self):
+        """Under 30 % proof loss some proofs need several attempts; every
+        attempt of one proof must carry the trace minted at signing."""
+        _, records = _audited_run(loss_rate=0.3)
+        attempts_by_trace = {}
+        for r in records:
+            if r["kind"] == "proof.attempt":
+                attempts_by_trace.setdefault(r["trace"], []).append(r)
+        retransmitted = {
+            t: rs for t, rs in attempts_by_trace.items() if len(rs) >= 2
+        }
+        assert retransmitted, "loss rate produced no retransmissions"
+        signed_traces = {r["trace"] for r in records if r["kind"] == "proof.signed"}
+        acked_traces = {r["kind"] == "proof.acked" and r["trace"] for r in records}
+        for trace, attempts in retransmitted.items():
+            assert trace in signed_traces
+            # attempt numbers increase while the trace stays fixed
+            numbers = [r["attempt"] for r in attempts]
+            assert numbers == sorted(numbers)
+        assert any(t in acked_traces for t in retransmitted)
+
+    def test_proof_trace_links_send_to_proxy_decision(self):
+        """events_for_trace(proof_id) returns the full chain: the proof
+        send, its acceptance, and the proxy decision it authorized."""
+        _, records = _audited_run()
+        linked = [
+            r
+            for r in records
+            if r["kind"] == "proxy.decision" and r.get("proof_trace")
+        ]
+        assert linked, "no decision was linked to a humanness proof"
+        decision = linked[0]
+        chain = events_for_trace(records, decision["proof_trace"])
+        kinds = [r["kind"] for r in chain]
+        assert "proof.signed" in kinds
+        assert "channel.accept" in kinds
+        assert "validation.registered" in kinds
+        assert kinds[-1] == "proxy.decision"
+        # chain is one proof's story: all records agree on the trace
+        for r in chain:
+            assert decision["proof_trace"] in (r.get("trace"), r.get("proof_trace"))
+        # and the linked decisions were allowed human-backed manual events
+        assert decision["action"] == "allow"
+        assert decision["human_backed"] is True
+
+    def test_audit_times_are_simulated_not_wall_clock(self):
+        system, records = _audited_run()
+        horizon = max(d.start for d in system.proxy.decisions) + 3600.0
+        for r in records:
+            if "t" in r:
+                assert 0.0 <= r["t"] <= horizon
+
+    def test_disabled_obs_emits_nothing(self):
+        sink = MemoryAuditSink()
+        _run(obs=Observability(enabled=False, audit=sink))
+        assert sink.records == []
