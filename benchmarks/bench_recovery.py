@@ -1,0 +1,201 @@
+"""Durability costs: journal throughput, snapshot size, recovery replay.
+
+Crash safety (ROADMAP: production middlebox) is only deployable if its
+overheads fit an in-home proxy.  This bench measures the three costs the
+`repro.recovery` subsystem adds:
+
+* **journal append throughput** — the per-packet write-ahead record is
+  on the fast path; buffered appends must stay far above IoT packet
+  rates (tens of packets/s per household), and the per-proof fsync'd
+  append must stay well under the proof transport latency;
+* **snapshot cost** — bytes and latency of one atomic checkpoint of the
+  full security state (predictor buckets, rules, replay cache, open
+  events, breakers, validated interactions);
+* **recovery replay time** — a restart re-applies the journal's valid
+  prefix; the time to rebuild from snapshot + journal bounds the outage
+  a crash adds on top of process respawn.
+
+Run with ``pytest -s`` to see the tables.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.core import FiatConfig, FiatSystem
+from repro.obs import write_bench_snapshot
+from repro.recovery import JournalWriter, RecoveryManager, read_journal
+from repro.recovery.chaos import build_chaos_workload
+
+from benchmarks._helpers import bench_out_path, print_table
+
+#: Rule devices: system construction stays cheap (no ML training) and
+#: the costs under study — I/O and state size — do not depend on it.
+DEVICES = ["SP10", "WP3"]
+
+
+def _fresh_system():
+    config = FiatConfig(
+        bootstrap_s=60.0, snapshot_interval_s=20.0, lockout_threshold=10
+    )
+    return FiatSystem(DEVICES, config=config, seed=0)
+
+
+def _journaled_run(system, ops, state_dir):
+    """Journal + apply the whole workload; return the attached manager."""
+    manager = RecoveryManager(
+        state_dir, system.build_stack, snapshot_interval_s=1e9
+    )
+    proxy, validation = system.build_stack()
+    manager.start(proxy, validation, now=0.0)
+    for op in ops:
+        if op.kind == "pkt":
+            manager.journal_packet(op.packet)
+            proxy.process(op.packet)
+        elif op.kind == "auth":
+            manager.journal_auth(op.wire, op.t)
+            proxy.receive_auth(op.wire, op.t)
+        else:
+            manager.journal_unlock(op.device, op.t)
+            proxy.unlock(op.device)
+    return manager
+
+
+def test_journal_append_throughput(benchmark):
+    """Buffered vs per-record-fsync append rates for one packet record."""
+    system = _fresh_system()
+    ops = build_chaos_workload(system, duration_s=120.0, seed=0)
+    record = {"k": "pkt", "p": next(op.packet for op in ops if op.kind == "pkt").to_dict()}
+    root = tempfile.mkdtemp(prefix="fiat-bench-journal-")
+    try:
+        n_buffered = 20_000
+
+        def buffered_run():
+            path = os.path.join(root, "buffered.jsonl")
+            if os.path.exists(path):
+                os.unlink(path)
+            writer = JournalWriter(path)
+            t0 = time.perf_counter()
+            for _ in range(n_buffered):
+                writer.append(record)
+            elapsed = time.perf_counter() - t0
+            writer.close()
+            return elapsed, writer.size_bytes
+
+        buffered_s, journal_bytes = benchmark.pedantic(
+            buffered_run, rounds=1, iterations=1
+        )
+        buffered_rate = n_buffered / buffered_s
+
+        n_synced = 200
+        writer = JournalWriter(os.path.join(root, "synced.jsonl"))
+        t0 = time.perf_counter()
+        for _ in range(n_synced):
+            writer.append(record, sync=True)
+        synced_s = time.perf_counter() - t0
+        writer.close()
+        synced_rate = n_synced / synced_s
+
+        frame_bytes = journal_bytes / n_buffered
+        print_table(
+            "Recovery — write-ahead journal append cost (one packet record)",
+            ("mode", "records", "records/s", "us/record", "frame bytes"),
+            [
+                ("buffered", n_buffered, f"{buffered_rate:,.0f}",
+                 f"{1e6 / buffered_rate:.1f}", f"{frame_bytes:.0f}"),
+                ("fsync per record", n_synced, f"{synced_rate:,.0f}",
+                 f"{1e6 / synced_rate:.1f}", f"{frame_bytes:.0f}"),
+            ],
+        )
+
+        # Everything written must read back intact.
+        result = read_journal(os.path.join(root, "buffered.jsonl"))
+        assert len(result.records) == n_buffered and not result.torn
+        # Buffered appends must dwarf household packet rates (~100 pkt/s)
+        # and the fsync'd path must stay under the LAN proof latency.
+        assert buffered_rate > 10_000
+        assert 1.0 / synced_rate < 0.25  # < 250 ms per durable proof record
+
+        write_bench_snapshot(
+            bench_out_path("BENCH_recovery_journal.json"),
+            "journal_append",
+            {
+                "buffered_records_per_s": buffered_rate,
+                "fsync_records_per_s": synced_rate,
+                "frame_bytes": frame_bytes,
+            },
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_snapshot_and_recovery_replay_cost(benchmark):
+    """Checkpoint size/latency and restart replay rate on a warmed stack."""
+    system = _fresh_system()
+    ops = build_chaos_workload(system, duration_s=240.0, seed=0)
+    root = tempfile.mkdtemp(prefix="fiat-bench-recover-")
+    try:
+        # One journaled run to measure checkpoint cost on warmed state...
+        manager = _journaled_run(system, ops, os.path.join(root, "checkpoint"))
+        t0 = time.perf_counter()
+        manager.checkpoint(ops[-1].t)
+        snapshot_s = time.perf_counter() - t0
+        snapshot_bytes = os.path.getsize(
+            os.path.join(root, "checkpoint", f"snapshot-{manager.epoch:06d}.json")
+        )
+        manager.close()
+
+        # ...and a second that crashes with the full journal unsnapshotted,
+        # so recover() replays every record (the worst-case restart).
+        manager2 = _journaled_run(system, ops, os.path.join(root, "replay"))
+        journal_bytes = manager2.journal_size_bytes
+        manager2.simulate_crash()
+        t0 = time.perf_counter()
+        _proxy, _validation, report = benchmark.pedantic(
+            lambda: manager2.recover(restart_t=ops[-1].t + 1.0),
+            rounds=1,
+            iterations=1,
+        )
+        recover_s = time.perf_counter() - t0
+        manager2.close()
+
+        state_bytes = len(
+            json.dumps(system.proxy.snapshot(), sort_keys=True).encode("utf-8")
+        )
+        print_table(
+            "Recovery — checkpoint and restart costs "
+            f"({len(ops)} workload inputs, {len(DEVICES)} devices)",
+            ("metric", "value"),
+            [
+                ("journal size", f"{journal_bytes / 1024:.1f} KiB"),
+                ("snapshot write", f"{snapshot_s * 1e3:.2f} ms"),
+                ("snapshot size", f"{snapshot_bytes / 1024:.1f} KiB"),
+                ("records replayed", report.n_replayed),
+                ("recovery time", f"{recover_s * 1e3:.1f} ms"),
+                ("replay rate", f"{report.n_replayed / recover_s:,.0f} records/s"),
+                ("idle proxy state", f"{state_bytes / 1024:.1f} KiB"),
+            ],
+        )
+
+        assert report.n_replayed == len(ops)
+        assert report.snapshot_epoch >= 1  # replay started from a snapshot
+        # A restart must replay a four-minute household workload in well
+        # under a second per simulated minute of journal.
+        assert recover_s < 5.0
+
+        write_bench_snapshot(
+            bench_out_path("BENCH_recovery_replay.json"),
+            "recovery_replay",
+            {
+                "n_replayed": report.n_replayed,
+                "journal_bytes": journal_bytes,
+                "snapshot_bytes": snapshot_bytes,
+                "snapshot_write_s": snapshot_s,
+                "recover_s": recover_s,
+                "replay_records_per_s": report.n_replayed / recover_s,
+            },
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

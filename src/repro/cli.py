@@ -15,7 +15,14 @@ Subcommands
 ``evaluate``
     Run the Table-6 accuracy experiment for a set of devices; with
     ``--metrics-out``/``--audit-out`` it runs fully instrumented and
-    writes the registry snapshot / JSONL audit stream.
+    writes the registry snapshot / JSONL audit stream; with
+    ``--state-dir`` the proxy's security state is write-ahead journaled
+    and snapshotted there (crash-safe deployment mode).
+``chaos``
+    Sweep randomized proxy crash/restart points and assert the recovery
+    invariants: decision-log equality modulo downtime, no replayed proof
+    accepted post-restart, deterministic recovery, torn-journal-tail
+    tolerance.
 ``obs-report``
     Render the observability dashboard from a metrics snapshot, or
     follow one trace ID through an audit stream.
@@ -142,6 +149,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_training_events=args.training_events,
     )
+    if args.state_dir:
+        system.enable_recovery(args.state_dir)
     results = system.run_accuracy(
         n_manual=args.manual, n_non_manual=args.non_manual, n_attacks=args.attacks
     )
@@ -163,7 +172,59 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         f"humanness: P/R {human['human_precision']:.2f}/{human['human_recall']:.2f} human, "
         f"{human['non_human_precision']:.2f}/{human['non_human_recall']:.2f} non-human"
     )
+    if system.recovery is not None:
+        system.recovery.close()
+        print(
+            f"recovery state journaled to {args.state_dir} "
+            f"(epoch {system.recovery.epoch}, {system.recovery.journal_size_bytes} B journal)"
+        )
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .core import FiatConfig, FiatSystem
+
+    config = FiatConfig(
+        bootstrap_s=args.bootstrap,
+        snapshot_interval_s=args.snapshot_interval,
+        # A crash adds at most one stray blocked event between unlocks;
+        # a tight threshold would let that tip one run into lockout and
+        # diverge the logs far past the outage (see chaos_sweep docs).
+        lockout_threshold=10,
+    )
+    system = FiatSystem(args.devices, config=config, seed=args.seed)
+    report = system.chaos_sweep(
+        n_trials=args.trials,
+        seed=args.seed,
+        duration_s=args.duration,
+        corrupt_fraction=args.corrupt_fraction,
+        determinism_every=args.determinism_every,
+        state_root=args.state_root,
+    )
+    probes = {}
+    for trial in report.trials:
+        probes[trial.replay_probe] = probes.get(trial.replay_probe, 0) + 1
+    print(
+        f"chaos sweep: {report.n_ok}/{report.n_trials} trials ok "
+        f"({report.n_corrupted_tail} with corrupted journal tail, "
+        f"{report.n_torn_tails_seen} torn tails tolerated)"
+    )
+    print(f"replay probes post-restart: {probes}")
+    checked = [t for t in report.trials if t.determinism_checked]
+    print(
+        f"determinism double-runs: {len(checked)} "
+        f"({'all byte-identical' if all(t.deterministic for t in checked) else 'DIVERGENT'})"
+    )
+    for trial in report.failures():
+        print(
+            f"FAIL trial {trial.index}: crash at t={trial.crash.at:.1f} "
+            f"(+{trial.crash.downtime_s:.1f}s down, "
+            f"{trial.crash.corrupt_tail_bytes} B corrupted) — {trial.failure}",
+            file=sys.stderr,
+        )
+        if trial.state_dir:
+            print(f"  artifacts kept in {trial.state_dir}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
@@ -308,7 +369,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit-out", dest="audit_out",
         help="run instrumented; write the JSONL audit stream here",
     )
+    evaluate.add_argument(
+        "--state-dir", dest="state_dir",
+        help="journal + snapshot the proxy's security state here (crash-safe mode)",
+    )
     evaluate.set_defaults(func=cmd_evaluate)
+
+    chaos = sub.add_parser(
+        "chaos", help="sweep random proxy crashes and assert recovery invariants"
+    )
+    chaos.add_argument("--devices", nargs="+", default=["SP10", "WP3"])
+    chaos.add_argument("--trials", type=int, default=50)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--duration", type=float, default=240.0, help="workload seconds")
+    chaos.add_argument("--bootstrap", type=float, default=60.0, help="bootstrap seconds")
+    chaos.add_argument(
+        "--snapshot-interval", dest="snapshot_interval", type=float, default=20.0,
+        help="simulated seconds between state snapshots",
+    )
+    chaos.add_argument(
+        "--corrupt-fraction", dest="corrupt_fraction", type=float, default=0.3,
+        help="fraction of trials that corrupt the journal tail before restart",
+    )
+    chaos.add_argument(
+        "--determinism-every", dest="determinism_every", type=int, default=10,
+        help="re-run every Nth trial twice and require byte-identical logs (0 = off)",
+    )
+    chaos.add_argument(
+        "--state-root", dest="state_root",
+        help="keep per-trial state dirs here (default: temp dir, removed when green)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     obs_report = sub.add_parser(
         "obs-report", help="render the observability dashboard / follow a trace"

@@ -14,7 +14,7 @@ the §7 piggyback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from .config import FiatConfig
 from .latency import LAN_SCENARIO, Scenario
 from .proxy import FiatProxy
 from .validation import HumanValidationService
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a module-level import cycle
+    from ..recovery import ChaosReport, RecoveryManager
 
 __all__ = ["DeviceAccuracy", "FiatSystem"]
 
@@ -84,9 +87,13 @@ class FiatSystem:
         self.phone = Phone(seed=seed + 2)
 
         # Pairing: the shared key lives in both TEEs, never on the wire.
+        # The proxy-side keystore is kept so a cold restart can rebuild
+        # the stack around the *same* key — pairing survives a process
+        # death (the key lives in the enclave, not in proxy memory).
         phone_keystore, proxy_keystore = pair(
             "phone", "iot-proxy", alias=_KEY_ALIAS, obs=self.obs
         )
+        self._proxy_keystore = proxy_keystore
         self.app = FiatApp(
             keystore=phone_keystore,
             key_alias=_KEY_ALIAS,
@@ -140,6 +147,8 @@ class FiatSystem:
         self._last_registered = None
         #: per-proof delivery reports when running under a fault plan
         self.auth_reports: List[ReliableAuthReport] = []
+        #: crash-safe durability (installed by :meth:`enable_recovery`)
+        self.recovery: "Optional[RecoveryManager]" = None
 
     # -- fault injection -------------------------------------------------------------
 
@@ -171,11 +180,105 @@ class FiatSystem:
         assert self._fault_link is not None
         receiver_now = self._fault_link.receiver_clock(arrive_at)
         before = len(self.validation.receiver.rejections)
-        result = self.proxy.receive_auth(wire, receiver_now)
+        result = self._receive_auth(wire, receiver_now)
         if result is not None:
             self._last_registered = result
             return True
         return "replay" in self.validation.receiver.rejections[before:]
+
+    # -- crash-safe durability (repro.recovery) --------------------------------------
+
+    def build_stack(self) -> Tuple[FiatProxy, HumanValidationService]:
+        """Build a fresh proxy + validation pair around the durable parts.
+
+        The pairing key (TEE), the trained humanness validator and the
+        trained per-device classifiers (on-disk models) are shared with
+        the existing stack — a process death does not lose them.  Only
+        the volatile security state is fresh; it is exactly what the
+        :class:`~repro.recovery.RecoveryManager` journal restores.
+        """
+        validation = HumanValidationService(
+            self._proxy_keystore,
+            validator=self.validation.validator,
+            validity_s=self.config.human_validity_s,
+            freshness_s=self.config.channel_freshness_s,
+            max_interactions=self.config.max_validated_interactions,
+            obs=self.obs,
+        )
+        proxy = FiatProxy(
+            config=self.config,
+            dns=self.cloud.dns,
+            classifiers=self.classifiers,
+            validation=validation,
+            app_for_device=dict(APP_PACKAGES),
+            start_time=0.0,
+        )
+        return proxy, validation
+
+    def cold_restart(self) -> Tuple[FiatProxy, HumanValidationService]:
+        """Swap in a freshly built stack (a supervised process restart).
+
+        Returns the new ``(proxy, validation)`` pair; fault injectors
+        installed by :meth:`install_faults` are *not* re-applied — the
+        caller restores state and re-installs what the experiment needs.
+        """
+        self.proxy, self.validation = self.build_stack()
+        return self.proxy, self.validation
+
+    def enable_recovery(self, state_dir: str, now: float = 0.0) -> "RecoveryManager":
+        """Journal this deployment's security state into ``state_dir``.
+
+        Every packet, proof wire and unlock fed through the system's
+        input helpers is write-ahead journaled, with periodic snapshots
+        per ``config.snapshot_interval_s``.  Returns the manager (also
+        kept as ``self.recovery``); after a crash,
+        ``self.recovery.recover()`` rebuilds the stack via
+        :meth:`build_stack` and replays the journal.
+        """
+        from ..recovery import RecoveryManager
+
+        manager = RecoveryManager(
+            state_dir,
+            self.build_stack,
+            snapshot_interval_s=self.config.snapshot_interval_s,
+            fsync=self.config.journal_fsync,
+            reconcile=self.config.recovery_reconcile,
+            obs=self.obs,
+        )
+        manager.start(self.proxy, self.validation, now=now)
+        self.recovery = manager
+        return manager
+
+    def chaos_sweep(self, n_trials: int = 50, seed: int = 0, **kwargs) -> "ChaosReport":
+        """Run the crash/chaos sweep over this deployment.
+
+        Delegates to :func:`repro.recovery.chaos.chaos_sweep` (see there
+        for the invariants checked and the knobs accepted).
+        """
+        from ..recovery import chaos_sweep
+
+        return chaos_sweep(self, n_trials=n_trials, seed=seed, **kwargs)
+
+    def _process(self, packet) -> bool:
+        """Feed one packet to the proxy, journaling it first when enabled."""
+        if self.recovery is not None:
+            self.recovery.journal_packet(packet)
+        allowed = self.proxy.process(packet)
+        if self.recovery is not None:
+            self.recovery.maybe_checkpoint(packet.timestamp)
+        return allowed
+
+    def _receive_auth(self, wire: bytes, now: float):
+        """Feed one proof wire to the proxy, journaling it first when enabled."""
+        if self.recovery is not None:
+            self.recovery.journal_auth(wire, now)
+        return self.proxy.receive_auth(wire, now)
+
+    def _unlock(self, device: str, now: float) -> None:
+        """Re-authorize a device, journaling the action first when enabled."""
+        if self.recovery is not None:
+            self.recovery.journal_unlock(device, now)
+        self.proxy.unlock(device)
 
     # -- experiment building blocks ------------------------------------------------
 
@@ -229,7 +332,7 @@ class FiatSystem:
             recorded = self._last_registered
         else:
             attempt = self.app.authenticate(interaction, when)
-            self.proxy.receive_auth(
+            self._receive_auth(
                 attempt.wire, when + attempt.components["transport"] / 1000.0
             )
             recorded = (
@@ -297,7 +400,7 @@ class FiatSystem:
             for k in range(n_attacks):
                 phases.append(("attack", t))
                 t += spacing
-                self.proxy.unlock(profile.name)  # isolate per-attempt outcome
+                self._unlock(profile.name, t)  # isolate per-attempt outcome
 
             for phase, when in phases:
                 if phase == "manual":
@@ -316,8 +419,8 @@ class FiatSystem:
                         profile, phase, when, int(rng.integers(0, 2**31))
                     )
                 for packet in packets:
-                    self.proxy.process(packet)
-                self.proxy.unlock(profile.name)
+                    self._process(packet)
+                self._unlock(profile.name, when)
             self.proxy.flush()
 
             decisions = self.proxy.decisions[start_index:]

@@ -50,6 +50,15 @@ __all__ = ["EventDecision", "Alert", "FiatProxy"]
 
 logger = logging.getLogger(__name__)
 
+#: Version of the serialised state schema (see :meth:`FiatProxy.snapshot`).
+_STATE_VERSION = 1
+
+#: Tolerated clock skew before the pre-start guard drops a packet,
+#: seconds.  Capture jitter legitimately stamps the first packets of a
+#: deployment a few milliseconds before t=0; only packets meaningfully
+#: older than the proxy's start can poison the bucket tables.
+PRE_START_TOLERANCE_S = 1.0
+
 
 @dataclass
 class EventDecision:
@@ -123,6 +132,8 @@ class FiatProxy:
         self.interactions = interactions
         self.device_ips = device_ips or {}
         self._obs = config.observability
+        self._start_time = start_time
+        self._pre_start_alerted = False
         self._bootstrap_end = start_time + config.bootstrap_s
         self._predictor = BucketPredictor(
             definition=config.flow_definition,
@@ -171,6 +182,8 @@ class FiatProxy:
                 "validation_unavailable",
                 "degraded_decisions",
                 "auth_dropped_breaker_open",
+                "pre_start_packets",
+                "recovered_open_events",
             ),
         )
 
@@ -436,6 +449,25 @@ class FiatProxy:
         device = packet.device
         obs = self._obs
 
+        # Pre-bootstrap guard: a packet stamped before the proxy even
+        # started can only come from a skewed clock or a stale capture.
+        # Learning from it would poison the bucket tables (and, after a
+        # recovery, could rewind rule state), so drop it instead of
+        # silently learning and surface a health alert on the first one.
+        if now < self._start_time - PRE_START_TOLERANCE_S:
+            self.health["pre_start_packets"] += 1
+            if not self._pre_start_alerted:
+                self._pre_start_alerted = True
+                self._health_alert(
+                    device,
+                    now,
+                    "packet timestamped before proxy start (clock skew?) — dropped",
+                )
+            self.n_dropped += 1
+            if obs.enabled:
+                obs.inc("proxy_drops_total", reason="pre-start")
+            return False
+
         # Bootstrap: learn, allow everything.  Packet totals sync into the
         # registry lazily (see _sync_packet_counters) — a per-packet
         # counter write here would dominate the sub-microsecond fast path.
@@ -523,8 +555,17 @@ class FiatProxy:
         self.flush()
 
     def flush(self) -> None:
-        """Close all open events (end of capture)."""
-        for device, event in list(self._open.items()):
+        """Close all open events (end of capture).
+
+        Events close in chronological order of their first packet (ties
+        broken by device name), not dict insertion order: insertion order
+        is an accident of history that a crash/restart resets, and the
+        decision log must be identical either way.
+        """
+        for device, event in sorted(
+            self._open.items(),
+            key=lambda kv: (kv[1].packets[0].timestamp if kv[1].packets else 0.0, kv[0]),
+        ):
             self._close_event(device, event)
         self._open.clear()
         self._sync_packet_counters()
@@ -575,3 +616,152 @@ class FiatProxy:
         return json.dumps(
             [asdict(d) for d in self.decisions], sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
+
+    # -- durable state (repro.recovery) -------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serialise every security-relevant piece of proxy state.
+
+        JSON-native and versioned; the inverse is :meth:`restore`.  Pure
+        read — taking a snapshot never perturbs behaviour, so
+        ``decision_log()`` is byte-identical whether or not snapshots
+        were cut mid-run (the behaviour-neutrality contract the
+        recovery property tests enforce).
+
+        Covers: learned bucket tables, the frozen rule table, open
+        unpredictable events (packets included), lockout/violation
+        state, circuit breakers, decision/alert logs and packet tallies.
+        Config, classifiers, the validation service (serialised
+        separately via its own ``to_state``) and the DNS table are
+        process-local and re-injected on restore.
+        """
+        return {
+            "v": _STATE_VERSION,
+            "start_time": self._start_time,
+            "bootstrap_end": self._bootstrap_end,
+            "pre_start_alerted": self._pre_start_alerted,
+            "next_refresh": self._next_refresh,
+            "predictor": self._predictor.to_state(),
+            "rules": None if self._rules is None else self._rules.to_state(),
+            "open": {
+                device: {
+                    "packets": [p.to_dict() for p in event.packets],
+                    "decided": event.decided,
+                    "allow": event.allow,
+                    "predicted_manual": event.predicted_manual,
+                    "human_backed": event.human_backed,
+                    "degraded": event.degraded,
+                    "trace_id": event.trace_id,
+                    "proof_trace": event.proof_trace,
+                }
+                for device, event in self._open.items()
+            },
+            "violations": {d: list(ts) for d, ts in self._violations.items()},
+            "locked": dict(self._locked),
+            "decisions": [asdict(d) for d in self.decisions],
+            "alerts": [asdict(a) for a in self.alerts],
+            "n_allowed": self.n_allowed,
+            "n_dropped": self.n_dropped,
+            "breakers": {
+                "validation": self._validation_breaker.to_state(),
+                "classifiers": {
+                    device: breaker.to_state()
+                    for device, breaker in self._classifier_breakers.items()
+                },
+            },
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Load a :meth:`snapshot` into this (freshly constructed) proxy.
+
+        The proxy must have been built with the same config, classifiers
+        and validation service wiring; ``restore`` replaces only the
+        volatile security state a process death would lose.
+        """
+        if state.get("v") != _STATE_VERSION:
+            raise ValueError(f"unsupported FiatProxy state version: {state.get('v')!r}")
+        self._start_time = float(state["start_time"])
+        self._bootstrap_end = float(state["bootstrap_end"])
+        self._pre_start_alerted = bool(state["pre_start_alerted"])
+        next_refresh = state["next_refresh"]
+        self._next_refresh = None if next_refresh is None else float(next_refresh)
+        dns = self._predictor.dns
+        self._predictor = BucketPredictor.from_state(
+            state["predictor"], dns=dns, obs=self._obs  # type: ignore[arg-type]
+        )
+        rules_state = state["rules"]
+        self._rules = (
+            None
+            if rules_state is None
+            else RuleTable.from_state(rules_state, dns=dns)  # type: ignore[arg-type]
+        )
+        self._open = {}
+        for device, encoded in state["open"].items():  # type: ignore[union-attr]
+            event = _OpenEvent(
+                packets=[Packet.from_dict(p) for p in encoded["packets"]],
+                decided=bool(encoded["decided"]),
+                allow=bool(encoded["allow"]),
+                predicted_manual=bool(encoded["predicted_manual"]),
+                human_backed=encoded["human_backed"],
+                degraded=encoded["degraded"],
+                trace_id=str(encoded.get("trace_id", "")),
+                proof_trace=str(encoded.get("proof_trace", "")),
+            )
+            self._open[device] = event
+        self._violations = {
+            d: [float(t) for t in ts]
+            for d, ts in state["violations"].items()  # type: ignore[union-attr]
+        }
+        self._locked = {
+            d: float(t) for d, t in state["locked"].items()  # type: ignore[union-attr]
+        }
+        self.decisions = [
+            EventDecision(**d) for d in state["decisions"]  # type: ignore[union-attr]
+        ]
+        self.alerts = [Alert(**a) for a in state["alerts"]]  # type: ignore[union-attr]
+        self.n_allowed = int(state["n_allowed"])
+        self.n_dropped = int(state["n_dropped"])
+        breakers: Dict[str, object] = state["breakers"]  # type: ignore[assignment]
+        self._validation_breaker = CircuitBreaker.from_state(
+            breakers["validation"], obs=self._obs  # type: ignore[index,arg-type]
+        )
+        self._classifier_breakers = {
+            device: CircuitBreaker.from_state(encoded, obs=self._obs)
+            for device, encoded in breakers["classifiers"].items()  # type: ignore[index,union-attr]
+        }
+
+    def reconcile_after_crash(self, now: float) -> int:
+        """Close events left open by a crash, fail-closed.
+
+        A crash interrupts open unpredictable events mid-decision: the
+        proxy cannot know which of their packets were forwarded during
+        the outage, so recovery must not let an incomplete manual-shaped
+        event ride through on pre-crash optimism.  Events that were
+        still undecided, or decided manual, are closed as ``drop`` with
+        a ``recovery:fail-closed`` marker; events positively classified
+        non-manual close with their (complete) allow decision.  None of
+        the forced drops count toward the brute-force lockout — a crash
+        is not evidence of an attack.  Returns the number of events
+        reconciled.
+        """
+        reconciled = 0
+        for device, event in sorted(self._open.items()):
+            if not event.packets:
+                continue
+            if not event.decided or event.predicted_manual:
+                event.decided = True
+                event.allow = False
+                event.degraded = (
+                    "recovery:fail-closed"
+                    if event.degraded is None
+                    else f"{event.degraded}+recovery:fail-closed"
+                )
+            self.health["recovered_open_events"] += 1
+            self._close_event(device, event)
+            reconciled += 1
+        self._open.clear()
+        if reconciled:
+            self._health_alert(
+                "*", now, f"crash recovery: {reconciled} open event(s) reconciled fail-closed"
+            )
+        return reconciled

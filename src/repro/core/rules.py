@@ -19,11 +19,14 @@ from __future__ import annotations
 from typing import Dict, Hashable, Optional, Set, Tuple
 
 from ..net.dns import DnsTable
-from ..net.flows import FlowDefinition, flow_key
+from ..net.flows import FlowDefinition, decode_flow_key, encode_flow_key, flow_key
 from ..net.packet import Packet
 from ..predictability.buckets import BucketPredictor, quantize_iat
 
 __all__ = ["RuleTable"]
+
+#: Version of the serialised state schema (see :meth:`RuleTable.to_state`).
+_STATE_VERSION = 1
 
 
 class RuleTable:
@@ -152,3 +155,48 @@ class RuleTable:
         """Fraction of checked packets that hit a rule."""
         total = self.n_hits + self.n_misses
         return self.n_hits / total if total else 0.0
+
+    # -- durable state ------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serialise the frozen rule table (versioned, JSON-native).
+
+        The allow rules are the product of the 20-minute bootstrap; a
+        restart that lost them would silently re-enter bootstrap and
+        mass-drop (or mass-allow) traffic the table already vetted.
+        Rule order is preserved; bin sets are sorted for canonical bytes.
+        """
+        return {
+            "v": _STATE_VERSION,
+            "definition": self.definition.value,
+            "resolution": self.resolution,
+            "neighbor_bins": self.neighbor_bins,
+            "rules": [[encode_flow_key(k), sorted(bins)] for k, bins in self._rules.items()],
+            "last_seen": [[encode_flow_key(k), t] for k, t in self._last_seen.items()],
+            "last_hit": [[encode_flow_key(k), t] for k, t in self._last_hit.items()],
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], dns: Optional[DnsTable] = None
+    ) -> "RuleTable":
+        """Rebuild a rule table from :meth:`to_state` output."""
+        if state.get("v") != _STATE_VERSION:
+            raise ValueError(f"unsupported RuleTable state version: {state.get('v')!r}")
+        table = cls(
+            definition=FlowDefinition(state["definition"]),
+            dns=dns,
+            resolution=float(state["resolution"]),
+            neighbor_bins=int(state["neighbor_bins"]),
+        )
+        for encoded_key, bins in state["rules"]:  # type: ignore[union-attr]
+            table._rules[decode_flow_key(encoded_key)] = {int(b) for b in bins}
+        for encoded_key, t in state["last_seen"]:  # type: ignore[union-attr]
+            table._last_seen[decode_flow_key(encoded_key)] = float(t)
+        for encoded_key, t in state["last_hit"]:  # type: ignore[union-attr]
+            table._last_hit[decode_flow_key(encoded_key)] = float(t)
+        table.n_hits = int(state["n_hits"])
+        table.n_misses = int(state["n_misses"])
+        return table

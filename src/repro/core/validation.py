@@ -10,7 +10,7 @@ with the right app on a pre-authorized device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from time import perf_counter
 from typing import Dict, List, Optional
 
@@ -23,6 +23,10 @@ from ..crypto.keystore import SecureKeystore
 from ..sensors.humanness import HumannessValidator
 
 __all__ = ["ValidatedInteraction", "HumanValidationService"]
+
+#: Version of the serialised state schema (see
+#: :meth:`HumanValidationService.to_state`).
+_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -146,6 +150,61 @@ class HumanValidationService:
             if i.human and i.app_package == app_package and cutoff <= i.verified_at <= now:
                 return i
         return None
+
+    # -- durable state ------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serialise the registry + channel state (versioned, JSON-native).
+
+        Covers the validated-interaction registry, the channel's replay
+        cache (the state closing the QUIC 0-RTT replay window) and the
+        rejection/acceptance tallies.  The keystore and the trained
+        humanness validator are *not* serialised: they live in the TEE
+        and on disk respectively and survive a process death on their
+        own — only volatile memory needs the journal.
+        """
+        return {
+            "v": _STATE_VERSION,
+            "validity_s": self.validity_s,
+            "max_interactions": self.max_interactions,
+            "interactions": [asdict(i) for i in self._interactions],
+            "n_rejected_channel": self.n_rejected_channel,
+            "n_non_human": self.n_non_human,
+            "n_pruned": self.n_pruned,
+            "receiver": {
+                "freshness_window_s": self.receiver.freshness_window_s,
+                "rejections": list(self.receiver.rejections),
+                "replay_cache": self.receiver.replay_cache.to_state(),
+            },
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Load :meth:`to_state` output into this (freshly built) service."""
+        if state.get("v") != _STATE_VERSION:
+            raise ValueError(
+                f"unsupported HumanValidationService state version: {state.get('v')!r}"
+            )
+        self.validity_s = float(state["validity_s"])
+        self.max_interactions = int(state["max_interactions"])
+        self._interactions = [
+            ValidatedInteraction(
+                app_package=str(i["app_package"]),
+                device_id=str(i["device_id"]),
+                verified_at=float(i["verified_at"]),
+                human=bool(i["human"]),
+                trace_id=str(i.get("trace_id", "")),
+            )
+            for i in state["interactions"]  # type: ignore[union-attr]
+        ]
+        self.n_rejected_channel = int(state["n_rejected_channel"])
+        self.n_non_human = int(state["n_non_human"])
+        self.n_pruned = int(state["n_pruned"])
+        receiver_state: Dict[str, object] = state["receiver"]  # type: ignore[assignment]
+        self.receiver.freshness_window_s = float(receiver_state["freshness_window_s"])
+        self.receiver.rejections = [str(r) for r in receiver_state["rejections"]]  # type: ignore[union-attr]
+        self.receiver.replay_cache = ReplayCache.from_state(
+            receiver_state["replay_cache"]  # type: ignore[arg-type]
+        )
 
     def prune(self, now: float) -> None:
         """Drop interactions older than the validity window.

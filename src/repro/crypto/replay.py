@@ -12,9 +12,12 @@ identifier within the window is a replay.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, List, Optional
 
 __all__ = ["ReplayCache"]
+
+#: Version of the serialised state schema (see :meth:`ReplayCache.to_state`).
+_STATE_VERSION = 1
 
 
 class ReplayCache:
@@ -42,12 +45,18 @@ class ReplayCache:
         self.n_replays_detected = 0
 
     def _evict(self, now: float) -> None:
-        while self._seen:
-            _, oldest_time = next(iter(self._seen.items()))
-            if now - oldest_time > self.window_seconds or len(self._seen) > self.max_entries:
-                self._seen.popitem(last=False)
-            else:
-                break
+        # Entries are kept in insertion order, which is *not* time order
+        # when ``now`` regresses (clock-skew faults): a stale entry can
+        # sit behind a fresher head.  Scan the whole cache instead of
+        # stopping at the first fresh entry, so out-of-order heads never
+        # shield expired entries from eviction.
+        expired = [
+            identifier
+            for identifier, seen_at in self._seen.items()
+            if now - seen_at > self.window_seconds
+        ]
+        for identifier in expired:
+            del self._seen[identifier]
 
     def check_and_register(self, identifier: str, now: float) -> bool:
         """Register an identifier; return ``True`` if it is fresh.
@@ -61,6 +70,10 @@ class ReplayCache:
             return False
         self._seen[identifier] = now
         self._seen.move_to_end(identifier)
+        # Enforce the memory bound *after* the insert too, so the cache
+        # never exceeds ``max_entries`` even between calls.
+        while len(self._seen) > self.max_entries:
+            self._seen.popitem(last=False)
         return True
 
     def __len__(self) -> int:
@@ -69,3 +82,37 @@ class ReplayCache:
     def clear(self) -> None:
         """Drop all state (e.g. on re-pairing)."""
         self._seen.clear()
+
+    # -- durable state ------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serialise to a JSON-native dict (versioned schema).
+
+        Entry order is preserved: it is the eviction order, so a
+        restored cache evicts identically to one that never restarted.
+        The replay window closed by this state is exactly why it must
+        survive restarts — losing it re-opens the QUIC 0-RTT replay
+        window for every previously seen proof.
+        """
+        return {
+            "v": _STATE_VERSION,
+            "window_seconds": self.window_seconds,
+            "max_entries": self.max_entries,
+            "seen": [[identifier, seen_at] for identifier, seen_at in self._seen.items()],
+            "n_replays_detected": self.n_replays_detected,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ReplayCache":
+        """Rebuild a cache from :meth:`to_state` output."""
+        if state.get("v") != _STATE_VERSION:
+            raise ValueError(f"unsupported ReplayCache state version: {state.get('v')!r}")
+        cache = cls(
+            window_seconds=float(state["window_seconds"]),
+            max_entries=int(state["max_entries"]),
+        )
+        entries: List[List[object]] = state["seen"]  # type: ignore[assignment]
+        for identifier, seen_at in entries:
+            cache._seen[str(identifier)] = float(seen_at)
+        cache.n_replays_detected = int(state["n_replays_detected"])
+        return cache

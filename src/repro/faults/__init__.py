@@ -14,11 +14,12 @@ proxy decision logs.
 from .breaker import BreakerState, CircuitBreaker
 from .injectors import ComponentOutage, FlakyClassifier, FlakyValidationService
 from .link import Delivery, FaultyLink
-from .plan import FaultPlan, OutageWindow
+from .plan import CrashWindow, FaultPlan, OutageWindow
 
 __all__ = [
     "FaultPlan",
     "OutageWindow",
+    "CrashWindow",
     "FaultyLink",
     "Delivery",
     "CircuitBreaker",

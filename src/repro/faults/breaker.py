@@ -15,11 +15,14 @@ passed by the caller, so fault experiments stay deterministic.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Dict, Optional
 
 from ..obs import NULL_OBS, Observability
 
 __all__ = ["BreakerState", "CircuitBreaker"]
+
+#: Version of the serialised state schema (see :meth:`CircuitBreaker.to_state`).
+_STATE_VERSION = 1
 
 
 class BreakerState(enum.Enum):
@@ -132,3 +135,49 @@ class CircuitBreaker:
                 self._transition("open")
             return newly_opened
         return False
+
+    # -- durable state ------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serialise to a JSON-native dict (versioned schema).
+
+        Losing breaker state on restart would silently close an open
+        breaker and hammer a component that was known to be down — the
+        restored proxy must resume the same degraded-mode posture.
+        """
+        return {
+            "v": _STATE_VERSION,
+            "name": self.name,
+            "failure_threshold": self.failure_threshold,
+            "recovery_timeout_s": self.recovery_timeout_s,
+            "state": self.state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_at": self._opened_at,
+            "n_opens": self.n_opens,
+            "n_probes": self.n_probes,
+            "n_recoveries": self.n_recoveries,
+            "n_rejected": self.n_rejected,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], obs: Optional[Observability] = None
+    ) -> "CircuitBreaker":
+        """Rebuild a breaker from :meth:`to_state` output."""
+        if state.get("v") != _STATE_VERSION:
+            raise ValueError(f"unsupported CircuitBreaker state version: {state.get('v')!r}")
+        breaker = cls(
+            name=str(state["name"]),
+            failure_threshold=int(state["failure_threshold"]),
+            recovery_timeout_s=float(state["recovery_timeout_s"]),
+            obs=obs,
+        )
+        breaker.state = BreakerState(state["state"])
+        breaker._consecutive_failures = int(state["consecutive_failures"])
+        opened_at = state["opened_at"]
+        breaker._opened_at = None if opened_at is None else float(opened_at)
+        breaker.n_opens = int(state["n_opens"])
+        breaker.n_probes = int(state["n_probes"])
+        breaker.n_recoveries = int(state["n_recoveries"])
+        breaker.n_rejected = int(state["n_rejected"])
+        return breaker

@@ -20,7 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["OutageWindow", "FaultPlan"]
+__all__ = ["OutageWindow", "CrashWindow", "FaultPlan"]
 
 #: Component name of the proxy-side humanness validation service.
 VALIDATION_COMPONENT = "validation"
@@ -54,6 +54,39 @@ class OutageWindow:
     def covers(self, component: str, t: float) -> bool:
         """Whether ``component`` is down at time ``t`` under this window."""
         return self.component == component and self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One scheduled proxy crash: kill at ``at``, restart after ``downtime_s``.
+
+    Models a power cut or process death of the router running the FIAT
+    proxy.  Inputs arriving during ``[at, at + downtime_s)`` are lost
+    with the process; on restart the supervisor rebuilds state from the
+    snapshot + journal (see :class:`~repro.recovery.RecoveryManager`).
+    ``corrupt_tail_bytes`` flips that many bytes at the end of the active
+    journal segment, modelling an un-synced page torn by the power cut —
+    recovery must discard the corrupted suffix, never trust it.
+    """
+
+    at: float
+    downtime_s: float = 0.0
+    corrupt_tail_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be non-negative, got {self.at}")
+        if self.downtime_s < 0:
+            raise ValueError(f"downtime must be non-negative, got {self.downtime_s}")
+        if self.corrupt_tail_bytes < 0:
+            raise ValueError(
+                f"corrupt_tail_bytes must be non-negative, got {self.corrupt_tail_bytes}"
+            )
+
+    @property
+    def restart_at(self) -> float:
+        """Simulated instant the supervisor brings the proxy back."""
+        return self.at + self.downtime_s
 
 
 @dataclass(frozen=True)
@@ -101,6 +134,9 @@ class FaultPlan:
     clock_skew_s: float = 0.0
     sensor_dropout_rate: float = 0.0
     outages: Tuple[OutageWindow, ...] = field(default_factory=tuple)
+    #: Scheduled proxy crashes (kill/restart cycles) for the chaos
+    #: harness; consumed by :func:`repro.recovery.chaos.chaos_sweep`.
+    crashes: Tuple[CrashWindow, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         for name in ("loss_rate", "duplicate_rate", "corruption_rate", "sensor_dropout_rate"):
@@ -111,9 +147,11 @@ class FaultPlan:
             raise ValueError(f"ack_loss_rate must be within [0, 1], got {self.ack_loss_rate}")
         if self.extra_delay_ms < 0 or self.delay_jitter_ms < 0:
             raise ValueError("delays must be non-negative")
-        # Tolerate a list passed for ``outages``.
+        # Tolerate lists passed for ``outages`` / ``crashes``.
         if not isinstance(self.outages, tuple):
             object.__setattr__(self, "outages", tuple(self.outages))
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
 
     @property
     def effective_ack_loss_rate(self) -> float:

@@ -20,7 +20,14 @@ from typing import Hashable, Optional, Tuple
 from .dns import DnsTable
 from .packet import Direction, Packet
 
-__all__ = ["FlowDefinition", "classic_key", "portless_key", "flow_key"]
+__all__ = [
+    "FlowDefinition",
+    "classic_key",
+    "portless_key",
+    "flow_key",
+    "encode_flow_key",
+    "decode_flow_key",
+]
 
 
 class FlowDefinition(enum.Enum):
@@ -83,3 +90,28 @@ def flow_pretty(key: Tuple[Hashable, ...], definition: FlowDefinition) -> str:
     device, remote, direction, proto, size = key
     arrow = "->" if direction == Direction.OUTBOUND.value else "<-"
     return f"{device} {arrow} {remote} {proto} {size}B"
+
+
+# -- durable-state codec ----------------------------------------------------------
+#
+# Flow keys are tuples of hashable scalars (strings and ints today), but
+# JSON has no tuple type and dict keys must be strings.  The recovery
+# subsystem serialises bucket/rule tables as ``[encoded_key, value]``
+# pairs; nested tuples are tagged so decoding restores hashability.
+
+def encode_flow_key(key: Hashable) -> object:
+    """Encode a flow key (or key element) into a JSON-native value."""
+    if isinstance(key, tuple):
+        return {"t": [encode_flow_key(element) for element in key]}
+    if key is None or isinstance(key, (str, int, float, bool)):
+        return key
+    raise TypeError(f"flow key element {key!r} is not JSON-encodable")
+
+
+def decode_flow_key(encoded: object) -> Hashable:
+    """Inverse of :func:`encode_flow_key`."""
+    if isinstance(encoded, dict):
+        return tuple(decode_flow_key(element) for element in encoded["t"])
+    if isinstance(encoded, list):  # tolerate plain-list encodings
+        return tuple(decode_flow_key(element) for element in encoded)
+    return encoded  # scalar

@@ -31,7 +31,7 @@ from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..net.dns import DnsTable
-from ..net.flows import FlowDefinition, flow_key
+from ..net.flows import FlowDefinition, decode_flow_key, encode_flow_key, flow_key
 from ..net.packet import Packet
 from ..net.trace import Trace
 from ..obs import NULL_OBS, Observability
@@ -40,6 +40,9 @@ __all__ = ["BucketPredictor", "label_predictable", "quantize_iat"]
 
 #: Default IAT quantisation resolution in seconds.
 DEFAULT_RESOLUTION = 0.25
+
+#: Version of the serialised state schema (see :meth:`BucketPredictor.to_state`).
+_STATE_VERSION = 1
 
 
 def quantize_iat(iat: float, resolution: float = DEFAULT_RESOLUTION) -> int:
@@ -188,6 +191,67 @@ class BucketPredictor:
         """Timestamp of the bucket's most recent packet (None if unseen)."""
         state = self._buckets.get(key)
         return state.last_timestamp if state else None
+
+    # -- durable state ------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serialise the learned bucket tables (versioned, JSON-native).
+
+        Bucket iteration order is preserved so a restored predictor
+        freezes rules in the same order as an uninterrupted one.
+        """
+        buckets = []
+        for key, state in self._buckets.items():
+            buckets.append(
+                [
+                    encode_flow_key(key),
+                    {
+                        "last": state.last_timestamp,
+                        "bins": {str(b): count for b, count in state.iat_bins.items()},
+                        "packets": [[index, b] for index, b in state.packet_bins],
+                    },
+                ]
+            )
+        return {
+            "v": _STATE_VERSION,
+            "definition": self.definition.value,
+            "resolution": self.resolution,
+            "neighbor_bins": self.neighbor_bins,
+            "n_observed": self._n_observed,
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, object],
+        dns: Optional[DnsTable] = None,
+        obs: Optional[Observability] = None,
+    ) -> "BucketPredictor":
+        """Rebuild a predictor from :meth:`to_state` output.
+
+        ``dns`` and ``obs`` are process-local resources (the DNS table is
+        rebuilt by the host, the observability handle belongs to the new
+        process) and are therefore re-injected rather than serialised.
+        """
+        if state.get("v") != _STATE_VERSION:
+            raise ValueError(f"unsupported BucketPredictor state version: {state.get('v')!r}")
+        predictor = cls(
+            definition=FlowDefinition(state["definition"]),
+            dns=dns,
+            resolution=float(state["resolution"]),
+            neighbor_bins=int(state["neighbor_bins"]),
+            obs=obs,
+        )
+        predictor._n_observed = int(state["n_observed"])
+        for encoded_key, encoded in state["buckets"]:  # type: ignore[union-attr]
+            bucket = _BucketState()
+            last = encoded["last"]
+            bucket.last_timestamp = None if last is None else float(last)
+            bucket.iat_bins = {int(b): int(count) for b, count in encoded["bins"].items()}
+            bucket.packet_bins = [(int(i), int(b)) for i, b in encoded["packets"]]
+            predictor._buckets[decode_flow_key(encoded_key)] = bucket
+        return predictor
 
 
 def label_predictable(

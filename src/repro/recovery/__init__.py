@@ -1,0 +1,31 @@
+"""Crash-safe durability for the FIAT proxy stack.
+
+A CRC-framed write-ahead journal plus periodic atomic snapshots make the
+proxy's security state (learned rules, bucket predictor, replay cache,
+validated interactions, lockout/breaker state, open unpredictable
+events) survive a process death.  :class:`RecoveryManager` supervises
+the journal/snapshot epochs and rebuilds the stack after a crash;
+:mod:`repro.recovery.chaos` sweeps randomized crash points asserting the
+recovery invariants (decision-log equality modulo downtime, no replayed
+proof accepted post-restart, deterministic recovery).
+"""
+
+from .chaos import ChaosReport, ChaosTrial, chaos_sweep
+from .journal import JournalReadResult, JournalWriter, frame_record, read_journal
+from .manager import RecoveryManager, RecoveryReport
+from .snapshot import SNAPSHOT_FORMAT_VERSION, read_snapshot, write_snapshot
+
+__all__ = [
+    "ChaosReport",
+    "ChaosTrial",
+    "chaos_sweep",
+    "JournalReadResult",
+    "JournalWriter",
+    "frame_record",
+    "read_journal",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SNAPSHOT_FORMAT_VERSION",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,78 @@
+"""Atomic, checksummed state snapshots.
+
+A snapshot is the full serialised security state of the proxy stack at
+one instant; together with the journal segment opened at the same
+moment it forms one *epoch*: ``recover = load(snapshot) +
+replay(journal)``.  Snapshots bound journal replay time and enable
+compaction (older epochs are deleted once a newer snapshot is durable).
+
+File format: a single header line ``<crc32-hex8>`` followed by the
+canonical JSON document the CRC covers.  Writes go to a temp file that
+is atomically renamed into place (``os.replace``), so a crash mid-write
+never destroys the previous epoch's snapshot — the reader simply rejects
+a half-written file and recovery falls back to the prior epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, Optional
+
+__all__ = ["SNAPSHOT_FORMAT_VERSION", "write_snapshot", "read_snapshot"]
+
+#: Version of the snapshot *container* (component schemas carry their own).
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def write_snapshot(path: str, state: Dict[str, object]) -> int:
+    """Atomically write ``state`` as a checksummed snapshot file.
+
+    Returns the number of bytes written.  The payload must be
+    JSON-native (the component ``to_state()`` contract).
+    """
+    document = {"format": SNAPSHOT_FORMAT_VERSION, "state": state}
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    blob = f"{zlib.crc32(payload):08x}\n".encode("ascii") + payload
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return len(blob)
+
+
+def read_snapshot(path: str) -> Optional[Dict[str, object]]:
+    """Load a snapshot's state; ``None`` when missing or corrupt.
+
+    Corruption (bad CRC, truncation, unparsable JSON, unknown container
+    format) is never an error — recovery treats an unreadable snapshot
+    exactly like a missing one and falls back to an older epoch.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return None
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return None
+    try:
+        expected = int(blob[:newline], 16)
+    except ValueError:
+        return None
+    payload = blob[newline + 1 :]
+    if zlib.crc32(payload) != expected:
+        return None
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(document, dict) or document.get("format") != SNAPSHOT_FORMAT_VERSION:
+        return None
+    state = document.get("state")
+    return state if isinstance(state, dict) else None

@@ -191,3 +191,49 @@ class TestDecisionLog:
         proxy.flush()
         assert all(d.device == "SP10" for d in proxy.decisions_for("SP10"))
         assert proxy.decisions_for("EchoDot4") == []
+
+
+class TestPreStartGuard:
+    """Packets stamped before the proxy started are dropped, not learned."""
+
+    def _proxy(self, start_time=100.0):
+        return FiatProxy(
+            config=FiatConfig(bootstrap_s=50.0),
+            dns=None,
+            classifiers={},
+            validation=HumanValidationService(
+                pair("a", "b")[1], validator=HumannessValidator(n_train_per_class=60).fit()
+            ),
+            app_for_device={},
+            start_time=start_time,
+        )
+
+    def test_pre_start_packet_dropped_and_counted(self):
+        proxy = self._proxy(start_time=100.0)
+        assert not proxy.process(make_packet(timestamp=10.0))
+        assert not proxy.process(make_packet(timestamp=50.0))
+        assert proxy.health["pre_start_packets"] == 2
+        assert proxy.n_dropped == 2
+        # the predictor never saw the skewed packets
+        assert proxy._predictor.to_state()["n_observed"] == 0
+
+    def test_single_health_alert_for_a_burst(self):
+        proxy = self._proxy(start_time=100.0)
+        for t in (0.0, 1.0, 2.0):
+            proxy.process(make_packet(timestamp=t))
+        health_alerts = [a for a in proxy.alerts if a.kind == "health"]
+        assert len(health_alerts) == 1
+        assert "before proxy start" in health_alerts[0].reason
+
+    def test_jitter_within_tolerance_is_learned(self):
+        # The household simulator stamps packets with sub-second jitter
+        # around t=0; those must pass the guard and feed the predictor.
+        proxy = self._proxy(start_time=100.0)
+        assert proxy.process(make_packet(timestamp=100.0 - 0.5))
+        assert proxy.health["pre_start_packets"] == 0
+        assert proxy._predictor.to_state()["n_observed"] == 1
+
+    def test_exact_tolerance_boundary(self):
+        proxy = self._proxy(start_time=100.0)
+        assert proxy.process(make_packet(timestamp=99.0))  # == start - tolerance
+        assert not proxy.process(make_packet(timestamp=99.0 - 1e-6))

@@ -150,3 +150,44 @@ class TestReplayCacheBoundaries:
         assert not cache.check_and_register("a", now=2.0)  # replay: no refresh
         cache.check_and_register("c", now=3.0)  # overflow evicts "a" (oldest)
         assert cache.check_and_register("a", now=4.0)  # evicted => fresh again
+
+
+class TestReplayCacheEvictionRegressions:
+    """Regressions for the exceed-by-one and stale-behind-fresh-head bugs."""
+
+    def test_cap_holds_immediately_after_every_insert(self):
+        cache = ReplayCache(window_seconds=1e9, max_entries=3)
+        for i in range(10):
+            cache.check_and_register(f"n{i}", now=float(i))
+            # The bound must hold *within* the call, not merely at the
+            # start of the next one: an exceed-by-one cache is unbounded
+            # for a caller that never registers again.
+            assert len(cache) <= 3
+
+    def test_stale_entry_behind_fresh_head_is_evicted(self):
+        """Clock regression must not shield expired entries.
+
+        Under a clock-skew fault an entry can be *inserted* with a later
+        timestamp than an entry registered after it.  Time-based eviction
+        that stops scanning at the first fresh entry (insertion order)
+        would then keep the stale one alive forever.
+        """
+        cache = ReplayCache(window_seconds=60.0)
+        cache.check_and_register("fresh", now=100.0)
+        cache.check_and_register("old", now=0.0)  # clock regressed
+        # now=90: "old" is 90s past its registration (> window) while the
+        # insertion-order head "fresh" is not expired.
+        cache.check_and_register("other", now=90.0)
+        assert len(cache) == 2  # "old" gone despite sitting behind "fresh"
+        assert cache.check_and_register("old", now=90.0)  # fresh again
+
+    def test_expired_entries_do_not_consume_cap(self):
+        cache = ReplayCache(window_seconds=10.0, max_entries=2)
+        cache.check_and_register("a", now=0.0)
+        cache.check_and_register("b", now=1.0)
+        # both expired by now=50: the cap has room without evicting "c"
+        cache.check_and_register("c", now=50.0)
+        cache.check_and_register("d", now=51.0)
+        assert len(cache) == 2
+        assert not cache.check_and_register("c", now=52.0)
+        assert not cache.check_and_register("d", now=52.0)

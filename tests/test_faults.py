@@ -154,6 +154,84 @@ class TestCircuitBreaker:
             CircuitBreaker(recovery_timeout_s=-1.0)
 
 
+class TestCircuitBreakerTimingEdges:
+    """Recovery-probe edges: exact boundaries, half-open failures, flaps."""
+
+    def test_probe_exactly_at_recovery_timeout(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        breaker.record_failure(10.0)
+        # elapsed == timeout is enough: the comparison is inclusive
+        assert not breaker.allow_request(10.0 + 30.0 - 1e-9)
+        assert breaker.allow_request(40.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_boundary_tracks_restarted_timer(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow_request(30.0)
+        breaker.record_failure(30.0)  # failed probe: timer restarts at 30
+        assert not breaker.allow_request(59.999)
+        assert breaker.allow_request(60.0)  # exactly one timeout after re-open
+
+    def test_failure_during_half_open_reopens_without_threshold(self):
+        breaker = CircuitBreaker("c", failure_threshold=3, recovery_timeout_s=30.0)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        assert breaker.allow_request(32.0)
+        # ONE failure re-opens from HALF_OPEN, not failure_threshold
+        assert breaker.record_failure(32.0)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_half_open_requests_are_all_probes(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow_request(30.0)
+        assert breaker.allow_request(30.5)  # still HALF_OPEN: allowed, a probe
+        assert breaker.n_probes == 2
+        assert breaker.n_rejected == 0
+
+    def test_repeated_half_open_flaps_count_each_open(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        t = 0.0
+        assert breaker.record_failure(t)
+        for flap in range(4):
+            t += 30.0
+            assert breaker.allow_request(t)
+            assert breaker.record_failure(t)  # each flap is a fresh open
+        assert breaker.n_opens == 5
+        assert breaker.n_probes == 4
+        assert breaker.n_recoveries == 0
+        # the flapping never shortened the timer
+        assert not breaker.allow_request(t + 29.9)
+
+    def test_recovery_after_flaps_requires_full_threshold_again(self):
+        breaker = CircuitBreaker("c", failure_threshold=2, recovery_timeout_s=30.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.allow_request(31.0)
+        breaker.record_failure(31.0)  # flap
+        assert breaker.allow_request(61.0)
+        assert breaker.record_success(61.0)  # probe succeeds: recovery
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.n_recoveries == 1
+        # consecutive-failure count was reset by the recovery
+        assert not breaker.record_failure(62.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_rejected_requests_are_counted_while_open(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=30.0)
+        breaker.record_failure(0.0)
+        for t in (1.0, 2.0, 3.0):
+            assert not breaker.allow_request(t)
+        assert breaker.n_rejected == 3
+
+    def test_zero_recovery_timeout_probes_immediately(self):
+        breaker = CircuitBreaker("c", failure_threshold=1, recovery_timeout_s=0.0)
+        breaker.record_failure(5.0)
+        assert breaker.allow_request(5.0)  # elapsed 0 >= timeout 0
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
 class _RuleStub:
     """Minimal EventClassifier stand-in for injector tests."""
 
