@@ -173,10 +173,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         f"{human['non_human_precision']:.2f}/{human['non_human_recall']:.2f} non-human"
     )
     if system.recovery is not None:
+        # Capture before close(): journal_size_bytes reads 0 once the
+        # writer is gone.
+        epoch = system.recovery.epoch
+        journal_bytes = system.recovery.journal_size_bytes
         system.recovery.close()
         print(
             f"recovery state journaled to {args.state_dir} "
-            f"(epoch {system.recovery.epoch}, {system.recovery.journal_size_bytes} B journal)"
+            f"(epoch {epoch}, {journal_bytes} B journal)"
         )
     return 0
 

@@ -399,8 +399,8 @@ class FiatSystem:
                 t += spacing
             for k in range(n_attacks):
                 phases.append(("attack", t))
-                t += spacing
                 self._unlock(profile.name, t)  # isolate per-attempt outcome
+                t += spacing
 
             for phase, when in phases:
                 if phase == "manual":

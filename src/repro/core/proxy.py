@@ -630,10 +630,11 @@ class FiatProxy:
 
         Covers: learned bucket tables, the frozen rule table, open
         unpredictable events (packets included), lockout/violation
-        state, circuit breakers, decision/alert logs and packet tallies.
-        Config, classifiers, the validation service (serialised
-        separately via its own ``to_state``) and the DNS table are
-        process-local and re-injected on restore.
+        state, circuit breakers, decision/alert logs, packet tallies
+        and the operational :attr:`health` counters.  Config,
+        classifiers, the validation service (serialised separately via
+        its own ``to_state``) and the DNS table are process-local and
+        re-injected on restore.
         """
         return {
             "v": _STATE_VERSION,
@@ -662,6 +663,7 @@ class FiatProxy:
             "alerts": [asdict(a) for a in self.alerts],
             "n_allowed": self.n_allowed,
             "n_dropped": self.n_dropped,
+            "health": self.health.as_dict(),
             "breakers": {
                 "validation": self._validation_breaker.to_state(),
                 "classifiers": {
@@ -721,6 +723,8 @@ class FiatProxy:
         self.alerts = [Alert(**a) for a in state["alerts"]]  # type: ignore[union-attr]
         self.n_allowed = int(state["n_allowed"])
         self.n_dropped = int(state["n_dropped"])
+        for key, value in state.get("health", {}).items():  # type: ignore[union-attr]
+            self.health[key] = value
         breakers: Dict[str, object] = state["breakers"]  # type: ignore[assignment]
         self._validation_breaker = CircuitBreaker.from_state(
             breakers["validation"], obs=self._obs  # type: ignore[index,arg-type]

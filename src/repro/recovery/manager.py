@@ -135,6 +135,26 @@ class RecoveryManager:
         """Size of the active journal segment (0 when not journaling)."""
         return self._writer.size_bytes if self._writer is not None else 0
 
+    def _sync_epoch_to_disk(self) -> None:
+        """Raise the epoch counter to the newest on-disk epoch.
+
+        A freshly constructed manager (a real process restart) starts at
+        0 regardless of what ``state_dir`` holds.  Rotating from a
+        counter *below* the on-disk epochs would leave the stale
+        pre-crash snapshot/journal alive — compaction only deletes
+        epochs ``<=`` the counter — and a later recovery would restore
+        them, silently discarding everything journaled since (including
+        the replay cache).  Worse, once the counter caught up the writer
+        would append into the old journal file, mixing segments.
+        """
+        self._epoch = max(
+            (
+                self._epoch,
+                *_list_epochs(self.state_dir, "snapshot-"),
+                *_list_epochs(self.state_dir, "journal-"),
+            )
+        )
+
     def start(self, proxy: object, validation: object, now: float = 0.0) -> None:
         """Begin journaling a fresh stack: cut the initial snapshot epoch.
 
@@ -147,6 +167,7 @@ class RecoveryManager:
                 f"state dir {self.state_dir!r} already holds recovery state; "
                 "recover() from it or point at an empty directory"
             )
+        self._sync_epoch_to_disk()
         self._proxy = proxy
         self._validation = validation
         self._rotate_epoch(now)
@@ -291,6 +312,7 @@ class RecoveryManager:
         proxy, validation = self.factory()
         self._proxy = proxy
         self._validation = validation
+        self._sync_epoch_to_disk()
 
         snapshot_epoch = 0
         state: Optional[Dict[str, object]] = None

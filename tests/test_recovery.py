@@ -217,6 +217,51 @@ class TestRecoveryManager:
         assert report.n_replayed == 1
         assert recovered.snapshot()["predictor"] == proxy.snapshot()["predictor"]
 
+    def test_fresh_manager_recovers_twice(self, tmp_path, chaos_system):
+        """Back-to-back real process restarts must not resurrect stale state.
+
+        A real restart constructs a *new* manager over the existing
+        state dir, so its epoch counter starts at 0.  Unless recover()
+        syncs it to the newest on-disk epoch, the post-recovery rotation
+        lands below the pre-crash files: compaction deletes nothing, and
+        the NEXT recovery restores the stale pre-crash snapshot —
+        silently dropping everything journaled since, including the
+        consumed-proof replay cache.
+        """
+        state_dir = str(tmp_path / "state")
+        manager = RecoveryManager(state_dir, chaos_system.build_stack)
+        proxy, validation = chaos_system.build_stack()
+        manager.start(proxy, validation)
+        interaction = chaos_system.phone.interact("SP10", 1.0, human=True)
+        attempt = chaos_system.app.authenticate(interaction, 1.0)
+        manager.journal_auth(attempt.wire, 1.5)
+        proxy.receive_auth(attempt.wire, 1.5)
+        manager.simulate_crash()
+
+        # First restart: brand-new manager over the existing state dir.
+        second = RecoveryManager(state_dir, chaos_system.build_stack)
+        recovered, _validation, report = second.recover(restart_t=2.0)
+        assert report.n_replayed == 1
+        assert second.epoch > manager.epoch  # rotated above the old files
+        packet = make_packet(timestamp=3.0, device="SP10")
+        second.journal_packet(packet)
+        recovered.process(packet)
+        second.simulate_crash()
+
+        # Second restart: state journaled after the first recovery must
+        # survive — no stale snapshot, no reopened replay window.
+        third = RecoveryManager(state_dir, chaos_system.build_stack)
+        recovered2, rec_validation, report2 = third.recover(restart_t=4.0)
+        assert report2.n_replayed == 1  # the post-recovery packet
+        assert recovered2.snapshot()["predictor"] == recovered.snapshot()["predictor"]
+        assert recovered2.receive_auth(attempt.wire, 4.0) is None
+        assert "replay" in rec_validation.receiver.rejections
+        # Only the newest epoch survives: the stale pair was compacted.
+        assert sorted(os.listdir(state_dir)) == [
+            "journal-000003.jsonl",
+            "snapshot-000003.json",
+        ]
+
     def test_synced_auth_record_survives_tail_corruption(
         self, tmp_path, chaos_system
     ):
@@ -237,6 +282,18 @@ class TestRecoveryManager:
         assert report.torn_tail
         assert recovered.receive_auth(attempt.wire, 3.0) is None
         assert "replay" in rec_validation.receiver.rejections
+
+
+class TestProxyHealthState:
+    def test_health_counters_survive_restore(self, chaos_system):
+        """snapshot()/restore() carry the operational health tallies."""
+        proxy, _validation = chaos_system.build_stack()
+        proxy.process(make_packet(timestamp=-5.0, device="SP10"))  # pre-start
+        assert proxy.health["pre_start_packets"] == 1
+        state = json.loads(json.dumps(proxy.snapshot()))
+        resumed, _ = chaos_system.build_stack()
+        resumed.restore(state)
+        assert resumed.health.as_dict() == proxy.health.as_dict()
 
 
 class TestSnapshotCutPointNeutrality:
