@@ -31,6 +31,8 @@ Subpackages
     The FIAT system: client app, IoT proxy, accuracy and latency models.
 ``repro.obs``
     Zero-dependency observability: metrics, tracing, audit stream.
+``repro.fleet``
+    Sharded multi-home fleet simulation with process-pool workers.
 """
 
 import logging as _logging
@@ -47,6 +49,7 @@ from . import (  # noqa: F401,E402  (re-export for discoverability)
     datasets,
     events,
     features,
+    fleet,
     ml,
     net,
     obs,

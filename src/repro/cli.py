@@ -23,6 +23,10 @@ Subcommands
     invariants: decision-log equality modulo downtime, no replayed proof
     accepted post-restart, deterministic recovery, torn-journal-tail
     tolerance.
+``fleet``
+    Run a sharded multi-home fleet simulation (serial or process-pool
+    backend) and write the deterministic population report; the report
+    bytes are identical for any ``--jobs`` value.
 ``obs-report``
     Render the observability dashboard from a metrics snapshot, or
     follow one trace ID through an audit stream.
@@ -231,6 +235,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetRunner, FleetSpec, generate_fleet
+
+    if args.spec:
+        spec = FleetSpec.load(args.spec)
+    else:
+        spec = generate_fleet(
+            args.homes,
+            seed=args.seed,
+            name=args.name,
+            device_pool=tuple(args.devices) if args.devices else None,
+            n_manual=args.manual,
+            n_non_manual=args.non_manual,
+            n_attacks=args.attacks,
+            n_training_events=args.training_events,
+            fault_fraction=args.fault_fraction,
+        )
+    if args.spec_out:
+        spec.dump(args.spec_out)
+        print(f"fleet spec ({len(spec)} homes) written to {args.spec_out}")
+    runner = FleetRunner(
+        spec,
+        jobs=args.jobs,
+        backend=args.backend,
+        timeout_s=args.timeout,
+        state_root=args.state_root,
+    )
+    report = runner.run()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    print(report.render(top=args.top))
+    if args.out:
+        print(f"population report written to {args.out}")
+    if not report.ok:
+        print(
+            f"{report.n_failed} of {report.n_homes} homes failed"
+            + (" (strict mode: failing)" if args.strict else ""),
+            file=sys.stderr,
+        )
+    return 1 if (args.strict and not report.ok) else 0
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
     from .obs import load_snapshot, read_audit, render_report, render_trace
 
@@ -404,6 +451,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep per-trial state dirs here (default: temp dir, removed when green)",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a sharded multi-home fleet simulation"
+    )
+    fleet.add_argument("--spec", help="fleet spec JSON (overrides the generator flags)")
+    fleet.add_argument("--homes", type=int, default=4, help="homes to generate")
+    fleet.add_argument("--jobs", type=int, default=1, help="worker processes")
+    fleet.add_argument(
+        "--backend", choices=["auto", "serial", "process"], default="auto",
+        help="execution backend (auto: serial when --jobs 1)",
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="fleet-level seed")
+    fleet.add_argument("--name", default="fleet", help="fleet name in the report")
+    fleet.add_argument(
+        "--devices", nargs="*",
+        help="device pool for generated homes (default: rule devices)",
+    )
+    fleet.add_argument("--manual", type=int, default=6, help="base manual events/home")
+    fleet.add_argument(
+        "--non-manual", dest="non_manual", type=int, default=12,
+        help="base non-manual events/home",
+    )
+    fleet.add_argument("--attacks", type=int, default=6, help="base attacks/home")
+    fleet.add_argument(
+        "--training-events", dest="training_events", type=int, default=120,
+    )
+    fleet.add_argument(
+        "--fault-fraction", dest="fault_fraction", type=float, default=0.0,
+        help="fraction of generated homes with a lossy-network fault plan",
+    )
+    fleet.add_argument(
+        "--timeout", type=float, help="per-home liveness deadline, seconds"
+    )
+    fleet.add_argument(
+        "--state-root", dest="state_root",
+        help="journal recovery state of homes marked 'recover' under this dir",
+    )
+    fleet.add_argument("--out", help="write the aggregate JSON report here")
+    fleet.add_argument(
+        "--spec-out", dest="spec_out", help="also write the (generated) spec JSON here"
+    )
+    fleet.add_argument("--top", type=int, default=8, help="per-home rows to print")
+    fleet.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any home fails (default: fail the home, not the fleet)",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     obs_report = sub.add_parser(
         "obs-report", help="render the observability dashboard / follow a trace"

@@ -29,6 +29,7 @@ from ..testbed.devices import DeviceProfile, profile_for
 from ..testbed.household import generate_labeled_events, render_event
 from ..testbed.phone import APP_PACKAGES, Phone
 from ..sensors.humanness import HumannessValidator
+from ..util import spawn_seed
 from .classifier import train_event_classifier
 from .client import FiatApp, ReliableAuthReport, RetryPolicy
 from .config import FiatConfig
@@ -82,9 +83,12 @@ class FiatSystem:
             profile_for(d) if isinstance(d, str) else d for d in devices
         ]
         self.obs = self.config.observability
-        self.cloud = CloudDirectory(seed=seed + 1)
-        self._rng = np.random.default_rng(seed)
-        self.phone = Phone(seed=seed + 2)
+        # Component seeds are hash-derived (never ``seed + k`` offsets):
+        # systems built from adjacent seeds — fleet homes — must not
+        # share any RNG stream across components.
+        self.cloud = CloudDirectory(seed=spawn_seed(seed, "cloud"))
+        self._rng = np.random.default_rng(spawn_seed(seed, "system"))
+        self.phone = Phone(seed=spawn_seed(seed, "phone"))
 
         # Pairing: the shared key lives in both TEEs, never on the wire.
         # The proxy-side keystore is kept so a cold restart can rebuild
@@ -100,12 +104,12 @@ class FiatSystem:
             device_id="galaxy-s10",
             path=scenario.auth_path,
             transport=transport,
-            seed=seed + 3,
+            seed=spawn_seed(seed, "app"),
             obs=self.obs,
         )
         self.validation = HumanValidationService(
             proxy_keystore,
-            validator=HumannessValidator(seed=seed + 4).fit(),
+            validator=HumannessValidator(seed=spawn_seed(seed, "validator")).fit(),
             validity_s=self.config.human_validity_s,
             freshness_s=self.config.channel_freshness_s,
             max_interactions=self.config.max_validated_interactions,
@@ -114,7 +118,7 @@ class FiatSystem:
 
         # Per-device classifiers, trained as deployed (§6 footnote 2).
         self.classifiers = {}
-        for i, profile in enumerate(self.profiles):
+        for profile in self.profiles:
             training = None
             if not profile.uses_simple_rules:
                 training = generate_labeled_events(
@@ -123,7 +127,7 @@ class FiatSystem:
                     n_manual=n_training_events // 2,
                     n_automated=n_training_events,
                     n_control=n_training_events,
-                    seed=seed + 10 + i,
+                    seed=spawn_seed(seed, "training", profile.name),
                     cloud=self.cloud,
                 )
             self.classifiers[profile.name] = train_event_classifier(

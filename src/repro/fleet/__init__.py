@@ -1,0 +1,39 @@
+"""Sharded multi-home fleet simulation with merged observability.
+
+FIAT's evaluation covers one household; the ROADMAP north star is a
+population.  This package turns every existing experiment into a
+population experiment: a declarative :class:`FleetSpec` describes N
+independent homes (device mix, routine intensity, attack mix, fault
+plan), a shared-nothing worker runs each home's §6 accuracy experiment
+in its own :class:`~repro.core.FiatSystem` (serially or on a process
+pool), and the aggregation layer folds the per-home results — accuracy
+distribution percentiles, traffic-class confusion totals, alert
+rollups, and the merged :class:`~repro.obs.MetricsSnapshot` of all
+shards — into one deterministic population report.
+
+Layering: ``spec`` (data) → ``worker`` (one home) → ``runner``
+(orchestration) → ``aggregate`` (population report).  Per-home seeds
+are hash-derived via :func:`repro.util.spawn_seed`, never ``seed + i``
+offsets, so no two homes — and no two components within a home — share
+an RNG stream.  The aggregate report is byte-identical across backends
+and job counts by contract (CI diffs the bytes).
+"""
+
+from .aggregate import FleetReport, aggregate, percentile
+from .runner import BACKENDS, FleetRunner
+from .spec import FleetSpec, HomeSpec, generate_fleet, home_seed
+from .worker import HomeResult, run_home
+
+__all__ = [
+    "BACKENDS",
+    "FleetReport",
+    "FleetRunner",
+    "FleetSpec",
+    "HomeResult",
+    "HomeSpec",
+    "aggregate",
+    "generate_fleet",
+    "home_seed",
+    "percentile",
+    "run_home",
+]

@@ -1,0 +1,242 @@
+"""Population-level aggregation: many :class:`HomeResult` → one report.
+
+The fleet report answers the questions one home cannot: how accuracy is
+*distributed* across a population (percentiles, not a single Table-6
+row), what the per-traffic-class confusion totals look like fleet-wide,
+how alerts roll up, and what the merged metrics registry of all shards
+says.  Merging rides on :meth:`repro.obs.MetricsSnapshot.merge` — the
+fleet is the first real consumer of the sharded-deployment contract the
+registry was designed around.
+
+Determinism contract: :func:`aggregate` folds results strictly in spec
+order, so the report is a pure function of ``(spec, per-home results)``
+— byte-identical whether the homes ran serially, on 2 workers or on 32.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..obs import MetricsSnapshot
+from .spec import FleetSpec
+from .worker import HomeResult
+
+__all__ = ["FleetReport", "aggregate", "percentile"]
+
+#: Per-device accuracy fields summarised across the population.
+POPULATION_FIELDS = (
+    "manual_precision",
+    "manual_recall",
+    "non_manual_precision",
+    "non_manual_recall",
+    "fp_manual_blocked",
+    "fp_non_manual_blocked",
+    "false_negative",
+)
+
+#: Quantiles reported per population field.
+PERCENTILES = (0.1, 0.5, 0.9)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of a sequence (deterministic, pure).
+
+    Matches ``numpy.percentile``'s default ``linear`` method but stays
+    in plain Python floats so the report bytes never depend on numpy
+    version or dtype promotion rules.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be within [0, 1], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    within = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * within
+
+
+@dataclass
+class FleetReport:
+    """The population report: per-home rows plus fleet-level rollups."""
+
+    name: str
+    seed: int
+    n_homes: int
+    n_ok: int
+    n_failed: int
+    #: one :class:`HomeResult` encoding per home, in spec order
+    homes: List[Dict[str, object]] = field(default_factory=list)
+    #: accuracy distribution per field: ``{"p10":…, "p50":…, "p90":…, "mean":…, "n":…}``
+    population: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: fleet-wide per-ground-truth-class decision tallies
+    class_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: alert tallies by kind across all homes
+    alerts: Dict[str, int] = field(default_factory=dict)
+    #: merged deterministic :class:`MetricsSnapshot` of every ok shard
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every home completed."""
+        return self.n_failed == 0
+
+    @property
+    def failed_homes(self) -> List[str]:
+        """IDs of homes that did not complete, in spec order."""
+        return [str(h["home_id"]) for h in self.homes if h["status"] != "ok"]
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Rehydrate the merged fleet metrics snapshot."""
+        return MetricsSnapshot(
+            counters=dict(self.metrics.get("counters", {})),
+            gauges=dict(self.metrics.get("gauges", {})),
+            histograms=dict(self.metrics.get("histograms", {})),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON encoding — the fleet determinism artifact.
+
+        Sorted keys and a fixed field set: two runs of the same spec
+        must produce byte-identical files regardless of backend or
+        ``--jobs``, and CI diffs exactly these bytes.
+        """
+        return json.dumps(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "n_homes": self.n_homes,
+                "n_ok": self.n_ok,
+                "n_failed": self.n_failed,
+                "homes": self.homes,
+                "population": self.population,
+                "class_counts": self.class_counts,
+                "alerts": self.alerts,
+                "metrics": self.metrics,
+            },
+            indent=indent,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetReport":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        return cls(
+            name=str(data["name"]),
+            seed=int(data["seed"]),
+            n_homes=int(data["n_homes"]),
+            n_ok=int(data["n_ok"]),
+            n_failed=int(data["n_failed"]),
+            homes=list(data.get("homes", [])),
+            population=dict(data.get("population", {})),
+            class_counts=dict(data.get("class_counts", {})),
+            alerts=dict(data.get("alerts", {})),
+            metrics=dict(data.get("metrics", {})),
+        )
+
+    def render(self, top: int = 8) -> str:
+        """Human-readable digest (the CLI's stdout view)."""
+        lines = [
+            f"fleet {self.name!r} (seed {self.seed}): "
+            f"{self.n_ok}/{self.n_homes} homes ok"
+        ]
+        if self.n_failed:
+            lines.append(f"  failed: {', '.join(self.failed_homes)}")
+        if self.population:
+            lines.append(f"  {'accuracy field':24s} {'p10':>7s} {'p50':>7s} {'p90':>7s} {'mean':>7s}")
+            for name in POPULATION_FIELDS:
+                stats = self.population.get(name)
+                if stats:
+                    lines.append(
+                        f"  {name:24s} {stats['p10']:7.3f} {stats['p50']:7.3f} "
+                        f"{stats['p90']:7.3f} {stats['mean']:7.3f}"
+                    )
+        if self.class_counts:
+            for cls_name in sorted(self.class_counts):
+                tally = self.class_counts[cls_name]
+                lines.append(
+                    f"  {cls_name:10s} {tally['events']:6d} events, "
+                    f"{tally['blocked']:6d} blocked"
+                )
+        if self.alerts:
+            rollup = ", ".join(f"{k}={v}" for k, v in sorted(self.alerts.items()))
+            lines.append(f"  alerts: {rollup}")
+        rows = [
+            (str(h["home_id"]), str(h["status"]), h)
+            for h in self.homes
+        ]
+        for home_id, status, home in rows[:top]:
+            detail = (
+                f"{len(home.get('devices', {}))} devices, "
+                f"{home.get('n_decisions', 0)} decisions"
+                if status == "ok"
+                else str(home.get("error", ""))
+            )
+            lines.append(f"  {home_id:12s} {status:7s} {detail}")
+        if len(rows) > top:
+            lines.append(f"  ... {len(rows) - top} more homes (see the JSON report)")
+        return "\n".join(lines)
+
+
+def aggregate(spec: FleetSpec, results: Sequence[HomeResult]) -> FleetReport:
+    """Fold per-home results (in spec order) into one :class:`FleetReport`."""
+    if len(results) != len(spec.homes):
+        raise ValueError(
+            f"expected {len(spec.homes)} results for fleet {spec.name!r}, "
+            f"got {len(results)}"
+        )
+    for home, result in zip(spec.homes, results):
+        if home.home_id != result.home_id:
+            raise ValueError(
+                f"result order mismatch: spec {home.home_id!r} vs "
+                f"result {result.home_id!r}"
+            )
+
+    ok = [r for r in results if r.ok]
+    samples: Dict[str, List[float]] = {name: [] for name in POPULATION_FIELDS}
+    class_counts: Dict[str, Dict[str, int]] = {}
+    alerts: Dict[str, int] = {}
+    merged = MetricsSnapshot()
+    for result in ok:
+        for row in result.devices.values():
+            for name in POPULATION_FIELDS:
+                samples[name].append(float(row[name]))
+        for cls_name, tally in result.class_counts.items():
+            target = class_counts.setdefault(cls_name, {"events": 0, "blocked": 0})
+            target["events"] += int(tally["events"])
+            target["blocked"] += int(tally["blocked"])
+        for kind, count in result.alerts.items():
+            alerts[kind] = alerts.get(kind, 0) + int(count)
+        merged = merged.merge(result.snapshot())
+
+    population: Dict[str, Dict[str, float]] = {}
+    for name, values in samples.items():
+        if not values:
+            continue
+        stats = {f"p{int(q * 100)}": percentile(values, q) for q in PERCENTILES}
+        stats["mean"] = sum(values) / len(values)
+        stats["n"] = float(len(values))
+        population[name] = stats
+
+    return FleetReport(
+        name=spec.name,
+        seed=spec.seed,
+        n_homes=len(spec.homes),
+        n_ok=len(ok),
+        n_failed=len(results) - len(ok),
+        homes=[result.to_dict() for result in results],
+        population=population,
+        class_counts=class_counts,
+        alerts=alerts,
+        metrics={
+            "counters": merged.counters,
+            "gauges": merged.gauges,
+            "histograms": merged.histograms,
+        },
+    )

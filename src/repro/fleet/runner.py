@@ -1,0 +1,178 @@
+"""Shared-nothing fleet execution: serial or process-pool backends.
+
+:class:`FleetRunner` walks a :class:`~repro.fleet.spec.FleetSpec` and
+produces one :class:`~repro.fleet.aggregate.FleetReport`.  Two backends
+share a single code path per home (:func:`~repro.fleet.worker.run_home`):
+
+``serial``
+    In-process, one home after another — the reference execution.
+``process``
+    ``concurrent.futures.ProcessPoolExecutor`` with a bounded window of
+    in-flight homes (at most ``2 * jobs``), so a million-home spec never
+    materialises a million futures.
+
+Determinism: homes are independent (shared-nothing, hash-derived
+seeds), and results are *collected strictly in spec order*, so the
+aggregate report is byte-identical across backends and any ``--jobs``
+value — completion order never leaks into the output.
+
+Failure semantics — fail the home, never the fleet:
+
+* A worker that raises (a poisoned or genuinely buggy home) marks that
+  home ``failed`` with the exception text; the fleet continues.
+* A worker *process death* (power cut, OOM kill — surfaces as
+  ``BrokenProcessPool``) kills every in-flight future, and the pool
+  cannot name the culprit.  The runner rebuilds the pool and reruns the
+  home being collected *in isolation*: an innocent bystander passes its
+  isolated rerun and the fleet re-pipelines; a crasher breaks the fresh
+  pool with only itself in flight and is marked ``failed`` after its
+  retry (two attempts), never taking a neighbour down with it.
+* A per-home timeout marks the home ``failed`` (the stuck worker is
+  abandoned to the pool's shutdown); the deadline is measured from when
+  collection reaches the home, i.e. it is a *liveness* bound, not a
+  wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional
+
+from .aggregate import FleetReport, aggregate
+from .spec import FleetSpec, HomeSpec
+from .worker import HomeResult, run_home, run_home_payload
+
+__all__ = ["FleetRunner", "BACKENDS"]
+
+logger = logging.getLogger(__name__)
+
+#: Supported execution backends (``auto`` resolves by ``jobs``).
+BACKENDS = ("auto", "serial", "process")
+
+
+class FleetRunner:
+    """Run every home of a fleet and aggregate the population report."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        jobs: int = 1,
+        backend: str = "auto",
+        timeout_s: Optional[float] = None,
+        state_root: Optional[str] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.jobs = jobs
+        self.backend = backend if backend != "auto" else ("serial" if jobs == 1 else "process")
+        self.timeout_s = timeout_s
+        self.state_root = state_root
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Execute the fleet and return the aggregated population report."""
+        if self.backend == "serial":
+            results = self._run_serial()
+        else:
+            results = self._run_process()
+        return aggregate(self.spec, results)
+
+    # -- failure bookkeeping -----------------------------------------------------
+
+    @staticmethod
+    def _failure(home: HomeSpec, error: BaseException, attempts: int) -> HomeResult:
+        return HomeResult(
+            home_id=home.home_id,
+            status="failed",
+            error=f"{type(error).__name__}: {error}",
+            attempts=attempts,
+        )
+
+    # -- serial backend ----------------------------------------------------------
+
+    def _run_serial(self) -> List[HomeResult]:
+        results: List[HomeResult] = []
+        for home in self.spec.homes:
+            try:
+                results.append(run_home(home, state_root=self.state_root))
+            except Exception as error:  # fail the home, not the fleet
+                logger.warning("home %s failed: %s", home.home_id, error)
+                results.append(self._failure(home, error, attempts=1))
+        return results
+
+    # -- process backend ---------------------------------------------------------
+
+    def _payload(self, home: HomeSpec) -> Dict[str, object]:
+        return {"home": home.to_dict(), "state_root": self.state_root}
+
+    def _run_process(self) -> List[HomeResult]:
+        homes = self.spec.homes
+        n = len(homes)
+        results: List[Optional[HomeResult]] = [None] * n
+        window = 2 * self.jobs
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        futures: Dict[int, object] = {}
+        next_submit = 0
+        abandoned_worker = False
+        try:
+            for i in range(n):
+                # Keep the in-flight window full ahead of the collector.
+                while next_submit < n and next_submit < i + window:
+                    futures[next_submit] = executor.submit(
+                        run_home_payload, self._payload(homes[next_submit])
+                    )
+                    next_submit += 1
+
+                attempts = 0
+                while results[i] is None:
+                    if i not in futures:  # lazily resubmitted after a pool break
+                        futures[i] = executor.submit(
+                            run_home_payload, self._payload(homes[i])
+                        )
+                    attempts += 1
+                    try:
+                        payload = futures[i].result(timeout=self.timeout_s)  # type: ignore[union-attr]
+                        result = HomeResult.from_dict(payload)  # type: ignore[arg-type]
+                        result.attempts = attempts
+                        results[i] = result
+                    except BrokenProcessPool as error:
+                        # A worker process died, killing every in-flight
+                        # future — the pool cannot say whose.  Rebuild
+                        # and rerun home i *alone*: a crasher breaks the
+                        # fresh pool by itself (conclusive after its
+                        # retry); a bystander passes the isolated rerun
+                        # and later homes resubmit lazily.
+                        logger.warning(
+                            "process pool broke while collecting %s (attempt %d): %s",
+                            homes[i].home_id, attempts, error,
+                        )
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = ProcessPoolExecutor(max_workers=self.jobs)
+                        futures.clear()
+                        if attempts >= 2:  # retried in isolation — fail the home
+                            results[i] = self._failure(homes[i], error, attempts)
+                    except FutureTimeoutError:
+                        futures[i].cancel()  # type: ignore[union-attr]
+                        abandoned_worker = True
+                        logger.warning("home %s timed out", homes[i].home_id)
+                        results[i] = self._failure(
+                            homes[i],
+                            TimeoutError(f"no result within {self.timeout_s}s"),
+                            attempts,
+                        )
+                    except Exception as error:  # raised inside the worker
+                        logger.warning("home %s failed: %s", homes[i].home_id, error)
+                        results[i] = self._failure(homes[i], error, attempts)
+                futures.pop(i, None)
+        finally:
+            # A clean join avoids interpreter-exit noise; after a
+            # timeout the stuck worker must not block the fleet.
+            executor.shutdown(wait=not abandoned_worker, cancel_futures=True)
+        return [result for result in results if result is not None]

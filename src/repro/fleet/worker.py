@@ -1,0 +1,184 @@
+"""The shard worker: one home in, one compact :class:`HomeResult` out.
+
+:func:`run_home` is the shared-nothing unit of fleet execution.  It
+builds a fresh :class:`~repro.core.FiatSystem` for one
+:class:`~repro.fleet.spec.HomeSpec` (own observability registry, own
+derived seeds, optionally its own recovery state shard), runs the §6
+accuracy experiment, and condenses the outcome into a small, picklable,
+JSON-safe :class:`HomeResult` — everything the aggregation layer needs
+and nothing it does not (no packets, no decision objects, no live
+system references cross the process boundary).
+
+Determinism contract: a ``HomeResult`` is a pure function of its
+``HomeSpec``.  Wall-clock latency histograms (the ``*_latency_ms``
+families fed by :mod:`repro.obs.timing`) are stripped from the metrics
+snapshot before it leaves the worker — they are the one nondeterministic
+channel in the registry, and keeping them would break the fleet's
+byte-identical-across-backends guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from ..core import FiatConfig, FiatSystem
+from ..faults import FaultPlan
+from ..obs import MetricsSnapshot, Observability
+from ..testbed.cloud import Location
+from ..util import spawn_seed
+from .spec import HomeSpec
+
+__all__ = ["HomeResult", "run_home", "run_home_payload", "WALL_CLOCK_SUFFIX"]
+
+#: Histogram families with this suffix carry ``perf_counter`` readings
+#: (see :mod:`repro.obs.timing`) and are excluded from fleet results.
+WALL_CLOCK_SUFFIX = "_latency_ms"
+
+
+@dataclass
+class HomeResult:
+    """Compact, JSON-safe outcome of one home's run."""
+
+    home_id: str
+    status: str = "ok"  # "ok" | "failed"
+    error: str = ""
+    #: how many executions this result took (2 = retried after a crash)
+    attempts: int = 1
+    #: per-device Table-6 rows (``DeviceAccuracy`` as plain dicts)
+    devices: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per-ground-truth-class decision tallies: ``{"events": n, "blocked": n}``
+    class_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: humanness-validation precision/recall accumulated by the home
+    human_rates: Dict[str, float] = field(default_factory=dict)
+    #: alert tallies by kind (``security`` / ``health``)
+    alerts: Dict[str, int] = field(default_factory=dict)
+    n_decisions: int = 0
+    #: deterministic :class:`MetricsSnapshot` encoding (wall-clock
+    #: histogram families stripped); the fleet aggregation merges these
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: recovery epoch reached when the home journaled state (``recover``)
+    recovery_epoch: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the home completed."""
+        return self.status == "ok"
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Rehydrate the home's (deterministic) metrics snapshot."""
+        return MetricsSnapshot(
+            counters=dict(self.metrics.get("counters", {})),
+            gauges=dict(self.metrics.get("gauges", {})),
+            histograms=dict(self.metrics.get("histograms", {})),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HomeResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def _deterministic_snapshot(snapshot: MetricsSnapshot) -> Dict[str, object]:
+    """Snapshot encoding minus the wall-clock histogram families."""
+    return {
+        "counters": {name: dict(series) for name, series in snapshot.counters.items()},
+        "gauges": {name: dict(series) for name, series in snapshot.gauges.items()},
+        "histograms": {
+            name: {key: dict(data) for key, data in series.items()}
+            for name, series in snapshot.histograms.items()
+            if not name.endswith(WALL_CLOCK_SUFFIX)
+        },
+    }
+
+
+def _truth_class(decision) -> str:
+    """The scripted traffic class behind one decision.
+
+    ``EventDecision.truth`` folds attacks into ``"manual"`` (they are
+    manual-*shaped*); the fleet confusion rollup wants the scripted
+    class, which the experiment encodes in the event ID.
+    """
+    event_id = decision.event_id or ""
+    for name in ("manual", "attack", "automated", "control"):
+        if f"-{name}-" in event_id:
+            return name
+    return str(decision.truth)
+
+
+def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
+    """Run one home end to end; raises if the spec is poisoned.
+
+    Exceptions are deliberately *not* swallowed here — failure policy
+    (retry, mark failed, strict exit) belongs to the
+    :class:`~repro.fleet.runner.FleetRunner`, which must treat an
+    in-worker crash and a process death the same way.
+    """
+    if spec.poison == "raise":
+        raise RuntimeError(f"poison home {spec.home_id}")
+    if spec.poison == "exit":  # pragma: no cover - kills the test process
+        os._exit(17)
+
+    obs = Observability(trace_seed=spec.seed % (2**32))
+    system = FiatSystem(
+        list(spec.devices),
+        config=FiatConfig(bootstrap_s=0.0, obs=obs),
+        location=Location[spec.location],
+        seed=spec.seed,
+        n_training_events=spec.n_training_events,
+    )
+    recovery_epoch: Optional[int] = None
+    if spec.recover and state_root:
+        system.enable_recovery(os.path.join(state_root, spec.home_id))
+    try:
+        accuracy = system.run_accuracy(
+            n_manual=spec.n_manual,
+            n_non_manual=spec.n_non_manual,
+            n_attacks=spec.n_attacks,
+            attack_with_proof=spec.attack_with_proof,
+            seed=spawn_seed(spec.seed, "accuracy"),
+            faults=FaultPlan(**spec.faults) if spec.faults else None,
+        )
+    finally:
+        if system.recovery is not None:
+            recovery_epoch = system.recovery.epoch
+            system.recovery.close()
+
+    class_counts: Dict[str, Dict[str, int]] = {}
+    for decision in system.proxy.decisions:
+        tally = class_counts.setdefault(
+            _truth_class(decision), {"events": 0, "blocked": 0}
+        )
+        tally["events"] += 1
+        tally["blocked"] += int(decision.blocked)
+    alerts: Dict[str, int] = {}
+    for alert in system.proxy.alerts:
+        alerts[alert.kind] = alerts.get(alert.kind, 0) + 1
+
+    return HomeResult(
+        home_id=spec.home_id,
+        devices={name: asdict(row) for name, row in accuracy.items()},
+        class_counts=class_counts,
+        human_rates=system.human_validation_rates(),
+        alerts=alerts,
+        n_decisions=len(system.proxy.decisions),
+        metrics=_deterministic_snapshot(system.metrics_snapshot()),
+        recovery_epoch=recovery_epoch,
+    )
+
+
+def run_home_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Process-pool entrypoint: plain dict in, plain dict out.
+
+    Dicts (not dataclass instances) cross the process boundary so the
+    wire format matches the JSON spec/report encodings exactly and
+    never depends on class identity across interpreter states.
+    """
+    spec = HomeSpec.from_dict(dict(payload["home"]))  # type: ignore[arg-type]
+    state_root = payload.get("state_root")
+    return run_home(spec, state_root=str(state_root) if state_root else None).to_dict()

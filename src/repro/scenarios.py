@@ -40,6 +40,7 @@ import numpy as np
 
 from .core import AuditLog, DeviceInteractionGraph, FiatConfig, FiatSystem, build_user_report
 from .net.packet import TrafficClass
+from .util import spawn_seed
 
 __all__ = ["run_scenario", "ScenarioReport", "EXAMPLE_SCENARIO"]
 
@@ -142,7 +143,7 @@ def run_scenario(
             name: f"192.168.1.{10 + i}" for i, name in enumerate(document["devices"])
         }
 
-    rng = np.random.default_rng(seed + 99)
+    rng = np.random.default_rng(spawn_seed(seed, "timeline"))
     report = ScenarioReport(name=str(document.get("name", "scenario")))
 
     for entry in sorted(document.get("timeline", []), key=lambda e: e["at"]):

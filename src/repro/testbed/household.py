@@ -26,6 +26,7 @@ from ..events.grouping import UnpredictableEvent
 from ..events.labeling import GroundTruthLog, InteractionWindow, RoutineFiring
 from ..net.packet import TCP_ACK, TCP_PSH, TLS_1_2, TLS_NONE, Direction, Packet, TrafficClass
 from ..net.trace import Trace
+from ..util import spawn_seed
 from .cloud import CloudDirectory, Endpoint, Location
 from .devices import (
     BurstSpec,
@@ -362,7 +363,7 @@ class Household:
         #: optional IFTTT-style schedule overriding the default periodic
         #: automation plan (see :mod:`repro.testbed.routines`)
         self.routine_schedule = routine_schedule
-        self.cloud = cloud or CloudDirectory(seed=self.config.seed + 1)
+        self.cloud = cloud or CloudDirectory(seed=spawn_seed(self.config.seed, "cloud"))
         self.device_ips: Dict[str, str] = {
             profile.name: f"{self.config.subnet}{10 + i}"
             for i, profile in enumerate(self.profiles)
@@ -535,7 +536,7 @@ def generate_labeled_events(
     if isinstance(profile, str):
         profile = profile_for(profile)
     rng = np.random.default_rng(seed)
-    cloud = cloud or CloudDirectory(seed=seed + 1)
+    cloud = cloud or CloudDirectory(seed=spawn_seed(seed, "cloud"))
     device_ip = "192.168.1.10"
     events: List[UnpredictableEvent] = []
     t = 0.0

@@ -1,0 +1,103 @@
+"""Tests for fleet specifications: derivation, validation, round-trips."""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetSpec, HomeSpec, generate_fleet, home_seed
+from repro.util import spawn_seed
+
+
+def _home(home_id="h1", **kwargs):
+    kwargs.setdefault("devices", ("SP10",))
+    kwargs.setdefault("seed", home_seed(0, home_id))
+    return HomeSpec(home_id=home_id, **kwargs)
+
+
+class TestHomeSpec:
+    def test_requires_devices(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            HomeSpec(home_id="h", devices=(), seed=1)
+
+    def test_rejects_unknown_devices(self):
+        with pytest.raises(ValueError, match="unknown devices"):
+            HomeSpec(home_id="h", devices=("Toaster9000",), seed=1)
+
+    def test_rejects_bad_poison(self):
+        with pytest.raises(ValueError, match="poison"):
+            _home(poison="explode")
+
+    def test_rejects_negative_volumes(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _home(n_manual=-1)
+
+    def test_dict_round_trip(self):
+        home = _home(faults={"seed": 3, "loss_rate": 0.1}, n_manual=9)
+        assert HomeSpec.from_dict(home.to_dict()) == home
+
+
+class TestHomeSeedDerivation:
+    def test_hash_derived_not_offsets(self):
+        assert home_seed(0, "home-0001") == spawn_seed(0, "home", "home-0001")
+        assert home_seed(0, "home-0001") != 1
+
+    def test_adjacent_fleet_seeds_do_not_collide(self):
+        seeds = {
+            home_seed(fleet_seed, f"home-{i:04d}")
+            for fleet_seed in range(5)
+            for i in range(50)
+        }
+        assert len(seeds) == 5 * 50
+
+
+class TestFleetSpec:
+    def test_rejects_duplicate_home_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetSpec(homes=(_home("a"), _home("a")))
+
+    def test_json_round_trip(self):
+        spec = generate_fleet(5, seed=9, fault_fraction=0.5)
+        assert FleetSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = generate_fleet(3, seed=2)
+        path = str(tmp_path / "fleet.json")
+        spec.dump(path)
+        assert FleetSpec.load(path) == spec
+
+    def test_missing_seed_filled_with_derived(self):
+        document = {
+            "name": "f",
+            "seed": 4,
+            "homes": [{"home_id": "home-x", "devices": ["SP10"]}],
+        }
+        spec = FleetSpec.from_json(json.dumps(document))
+        assert spec.homes[0].seed == home_seed(4, "home-x")
+
+
+class TestGenerateFleet:
+    def test_deterministic(self):
+        assert generate_fleet(6, seed=1).to_json() == generate_fleet(6, seed=1).to_json()
+
+    def test_seed_changes_fleet(self):
+        assert generate_fleet(6, seed=1).to_json() != generate_fleet(6, seed=2).to_json()
+
+    def test_homes_are_varied(self):
+        spec = generate_fleet(12, seed=0)
+        assert len({home.n_manual for home in spec.homes}) > 1
+        assert len({home.attack_with_proof for home in spec.homes}) > 1
+
+    def test_fault_fraction(self):
+        clean = generate_fleet(10, seed=0)
+        faulty = generate_fleet(10, seed=0, fault_fraction=1.0)
+        assert all(h.faults is None for h in clean.homes)
+        assert all(h.faults is not None for h in faulty.homes)
+
+    def test_home_seeds_unique(self):
+        spec = generate_fleet(40, seed=0)
+        seeds = [home.seed for home in spec.homes]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            generate_fleet(0)

@@ -1,0 +1,137 @@
+"""Property tests for the MetricsSnapshot merge algebra.
+
+Fleet aggregation (`repro.fleet.aggregate`) folds per-home snapshots
+with :meth:`MetricsSnapshot.merge` in spec order, and its determinism
+contract rests on merge behaving like a well-defined shard union:
+commutative and associative over shard-disjoint gauges, with the empty
+snapshot as identity.  These tests exercise those laws over randomly
+generated shard populations rather than hand-picked examples.
+
+Generator notes (the laws are *conditional*, and the conditions mirror
+how the fleet actually shards):
+
+* gauges are last-writer-wins on conflict, so each generated shard
+  carries shard-unique gauge labels — exactly what per-home workers
+  produce — and a separate test documents the conflicting-label case;
+* all values are integer-valued so float addition is exact and
+  associativity can be asserted byte-for-byte;
+* histogram boundaries are pinned per metric name, as the registry
+  pins them in production.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.registry import Histogram, MetricsSnapshot
+
+#: Counter families sampled by the generator (names mirror production).
+COUNTERS = ("proxy_decisions_total", "proofs_verified_total", "alerts_total")
+GAUGES = ("journal_epoch", "breaker_state")
+#: Histogram boundaries pinned per metric name, as the registry does.
+HISTOGRAMS = {
+    "proof_ttv_ms": (1.0, 5.0, 25.0, 125.0),
+    "queue_depth": (1.0, 2.0, 4.0, 8.0, 16.0),
+}
+
+
+def make_shard(rng: random.Random, shard_id: int) -> MetricsSnapshot:
+    """One random shard snapshot with shard-unique gauge labels."""
+    counters = {}
+    for name in COUNTERS:
+        if rng.random() < 0.8:
+            counters[name] = {
+                f"device=SP{k}": float(rng.randrange(0, 50))
+                for k in rng.sample(range(5), rng.randrange(1, 4))
+            }
+    gauges = {
+        name: {f"shard={shard_id}": float(rng.randrange(0, 9))}
+        for name in GAUGES
+        if rng.random() < 0.8
+    }
+    histograms = {}
+    for name, boundaries in HISTOGRAMS.items():
+        if rng.random() < 0.8:
+            series = {}
+            for label in rng.sample(["", "device=SP10", "device=WP3"], rng.randrange(1, 3)):
+                histogram = Histogram(boundaries=boundaries)
+                for _ in range(rng.randrange(1, 20)):
+                    histogram.observe(float(rng.randrange(0, 30)))
+                series[label] = histogram.to_dict()
+            histograms[name] = series
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+
+def make_shards(seed: int, n: int = 5):
+    rng = random.Random(seed)
+    return [make_shard(rng, shard_id) for shard_id in range(n)]
+
+
+@pytest.mark.parametrize("seed", range(20))
+class TestMergeLaws:
+    def test_commutative(self, seed):
+        a, b = make_shards(seed, n=2)
+        assert a.merge(b).to_json() == b.merge(a).to_json()
+
+    def test_associative(self, seed):
+        a, b, c = make_shards(seed, n=3)
+        assert a.merge(b).merge(c).to_json() == a.merge(b.merge(c)).to_json()
+
+    def test_identity_with_empty(self, seed):
+        (a,) = make_shards(seed, n=1)
+        empty = MetricsSnapshot()
+        assert empty.merge(a).to_json() == a.to_json()
+        assert a.merge(empty).to_json() == a.to_json()
+        assert empty.merge(empty).to_json() == MetricsSnapshot().to_json()
+
+    def test_fold_order_independent(self, seed):
+        """Any shard permutation folds to the same population snapshot."""
+        shards = make_shards(seed, n=6)
+        def fold(ordering):
+            merged = MetricsSnapshot()
+            for shard in ordering:
+                merged = merged.merge(shard)
+            return merged.to_json()
+
+        reference = fold(shards)
+        shuffled = list(shards)
+        random.Random(seed + 1).shuffle(shuffled)
+        assert fold(shuffled) == reference
+        assert fold(list(reversed(shards))) == reference
+
+
+class TestMergeSemantics:
+    def test_merge_leaves_operands_unchanged(self):
+        a, b = make_shards(3, n=2)
+        before_a, before_b = a.to_json(), b.to_json()
+        a.merge(b)
+        assert a.to_json() == before_a and b.to_json() == before_b
+
+    def test_counters_add(self):
+        a = MetricsSnapshot(counters={"x_total": {"k=1": 2.0}})
+        b = MetricsSnapshot(counters={"x_total": {"k=1": 3.0, "k=2": 1.0}})
+        merged = a.merge(b)
+        assert merged.counters["x_total"] == {"k=1": 5.0, "k=2": 1.0}
+
+    def test_conflicting_gauge_labels_take_last_writer(self):
+        """The documented non-commutative edge the fleet must avoid:
+        two shards writing the *same* gauge series conflict, and the
+        right-hand operand wins.  Workers therefore label gauges with
+        shard-unique keys (or strip them) before aggregation."""
+        a = MetricsSnapshot(gauges={"epoch": {"": 1.0}})
+        b = MetricsSnapshot(gauges={"epoch": {"": 7.0}})
+        assert a.merge(b).gauges["epoch"][""] == 7.0
+        assert b.merge(a).gauges["epoch"][""] == 1.0
+
+    def test_histogram_counts_and_sidecars_add(self):
+        bounds = (1.0, 10.0)
+        one, two = Histogram(boundaries=bounds), Histogram(boundaries=bounds)
+        one.observe(0.5)
+        two.observe(20.0)
+        a = MetricsSnapshot(histograms={"h": {"": one.to_dict()}})
+        b = MetricsSnapshot(histograms={"h": {"": two.to_dict()}})
+        merged = a.merge(b).histogram("h")
+        assert merged is not None
+        assert merged.count == 2
+        assert merged.sum == 20.5
+        assert merged.min == 0.5 and merged.max == 20.0
