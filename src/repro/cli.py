@@ -236,10 +236,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    from .fleet import FleetRunner, FleetSpec, generate_fleet
+    from .fleet import (
+        CheckpointMismatch,
+        FleetInterrupted,
+        FleetRunner,
+        generate_fleet,
+        open_spec,
+        write_spec_jsonl,
+    )
 
     if args.spec:
-        spec = FleetSpec.load(args.spec)
+        source = open_spec(args.spec)
     else:
         spec = generate_fleet(
             args.homes,
@@ -252,23 +259,64 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             n_training_events=args.training_events,
             fault_fraction=args.fault_fraction,
         )
-    if args.spec_out:
-        spec.dump(args.spec_out)
-        print(f"fleet spec ({len(spec)} homes) written to {args.spec_out}")
-    runner = FleetRunner(
-        spec,
-        jobs=args.jobs,
-        backend=args.backend,
-        timeout_s=args.timeout,
-        state_root=args.state_root,
-    )
-    report = runner.run()
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json() + "\n")
-    print(report.render(top=args.top))
-    if args.out:
-        print(f"population report written to {args.out}")
+        if args.spec_out:
+            if args.spec_out.endswith(".jsonl"):
+                write_spec_jsonl(
+                    args.spec_out, iter(spec.homes),
+                    name=spec.name, seed=spec.seed, n_homes=len(spec),
+                )
+            else:
+                spec.dump(args.spec_out)
+            print(f"fleet spec ({len(spec)} homes) written to {args.spec_out}")
+        source = spec.stream()
+    try:
+        runner = FleetRunner(
+            source,
+            jobs=args.jobs,
+            backend=args.backend,
+            timeout_s=args.timeout,
+            state_root=args.state_root,
+            state_dir=args.state_dir,
+            resume=args.resume,
+            retry_quarantined=args.retry_quarantined,
+            retries=args.retries,
+            backoff_base_s=args.backoff,
+            snapshot_every=args.snapshot_every,
+        )
+    except ValueError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+
+    def _emit(report) -> None:
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+        print(report.render(top=args.top))
+        if args.out:
+            print(f"population report written to {args.out}")
+
+    try:
+        report = runner.run()
+    except CheckpointMismatch as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    except FleetInterrupted as stop:
+        # Graceful degradation: the partial report (explicit coverage
+        # counts) is still emitted; the run is resumable.
+        _emit(stop.report)
+        coverage = stop.report.coverage
+        hint = (
+            f" — resume with --state-dir {args.state_dir} --resume"
+            if args.state_dir
+            else " (no --state-dir: progress was not checkpointed)"
+        )
+        print(
+            f"interrupted after {coverage.get('completed', 0)}/"
+            f"{coverage.get('planned', stop.report.n_homes)} homes{hint}",
+            file=sys.stderr,
+        )
+        return 3
+    _emit(report)
     if not report.ok:
         print(
             f"{report.n_failed} of {report.n_homes} homes failed"
@@ -455,7 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet = sub.add_parser(
         "fleet", help="run a sharded multi-home fleet simulation"
     )
-    fleet.add_argument("--spec", help="fleet spec JSON (overrides the generator flags)")
+    fleet.add_argument(
+        "--spec",
+        help="fleet spec file (overrides the generator flags); .jsonl specs "
+        "are streamed at bounded memory",
+    )
     fleet.add_argument("--homes", type=int, default=4, help="homes to generate")
     fleet.add_argument("--jobs", type=int, default=1, help="worker processes")
     fleet.add_argument(
@@ -488,9 +540,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-root", dest="state_root",
         help="journal recovery state of homes marked 'recover' under this dir",
     )
+    fleet.add_argument(
+        "--state-dir", dest="state_dir",
+        help="checkpoint fleet-run progress here (journal + compacted "
+        "snapshots); enables --resume",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="resume a checkpointed run from --state-dir, skipping "
+        "completed homes (byte-identical final report)",
+    )
+    fleet.add_argument(
+        "--retry-quarantined", dest="retry_quarantined", action="store_true",
+        help="with --resume: re-attempt homes that exhausted their retry "
+        "budget instead of skipping them",
+    )
+    fleet.add_argument(
+        "--retries", type=int, default=0,
+        help="per-home retries with seeded exponential backoff before a "
+        "home is quarantined (default: 0)",
+    )
+    fleet.add_argument(
+        "--backoff", dest="backoff", type=float, default=0.05,
+        help="retry backoff base, seconds (doubles per attempt, jittered)",
+    )
+    fleet.add_argument(
+        "--snapshot-every", dest="snapshot_every", type=int, default=32,
+        help="compact a checkpoint snapshot every N homes (default: 32)",
+    )
     fleet.add_argument("--out", help="write the aggregate JSON report here")
     fleet.add_argument(
-        "--spec-out", dest="spec_out", help="also write the (generated) spec JSON here"
+        "--spec-out", dest="spec_out",
+        help="also write the (generated) spec here (.jsonl streams)",
     )
     fleet.add_argument("--top", type=int, default=8, help="per-home rows to print")
     fleet.add_argument(

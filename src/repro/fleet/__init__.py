@@ -1,39 +1,74 @@
-"""Sharded multi-home fleet simulation with merged observability.
+"""Sharded multi-home fleet simulation with durable, resumable runs.
 
 FIAT's evaluation covers one household; the ROADMAP north star is a
 population.  This package turns every existing experiment into a
-population experiment: a declarative :class:`FleetSpec` describes N
-independent homes (device mix, routine intensity, attack mix, fault
-plan), a shared-nothing worker runs each home's §6 accuracy experiment
-in its own :class:`~repro.core.FiatSystem` (serially or on a process
-pool), and the aggregation layer folds the per-home results — accuracy
-distribution percentiles, traffic-class confusion totals, alert
+population experiment: a declarative :class:`FleetSpec` (or a streamed
+JSONL spec that never materialises) describes N independent homes
+(device mix, routine intensity, attack mix, fault plan), a
+shared-nothing worker runs each home's §6 accuracy experiment in its
+own :class:`~repro.core.FiatSystem` (serially or on a process pool),
+and an *incremental* aggregation layer folds per-home results —
+reservoir accuracy percentiles, traffic-class confusion totals, alert
 rollups, and the merged :class:`~repro.obs.MetricsSnapshot` of all
-shards — into one deterministic population report.
+shards — into one deterministic population report at bounded memory.
 
-Layering: ``spec`` (data) → ``worker`` (one home) → ``runner``
-(orchestration) → ``aggregate`` (population report).  Per-home seeds
-are hash-derived via :func:`repro.util.spawn_seed`, never ``seed + i``
-offsets, so no two homes — and no two components within a home — share
-an RNG stream.  The aggregate report is byte-identical across backends
-and job counts by contract (CI diffs the bytes).
+Durability: with a ``state_dir`` every completed home is journaled
+(CRC32 frames, reusing :mod:`repro.recovery.journal`) and the running
+aggregate is periodically compacted into atomic snapshots, so a run
+killed at home 900k of a million resumes (``resume=True``) where it
+stopped and still produces a byte-identical report.  Homes that
+exhaust their retry/backoff budget are quarantined, reported, and
+reattemptable via ``retry_quarantined=True``.
+
+Layering: ``spec`` (data, streaming) → ``worker`` (one home) →
+``runner`` (orchestration, failure policy) → ``checkpoint``
+(durability) → ``aggregate`` (incremental population report).
+Per-home seeds are hash-derived via :func:`repro.util.spawn_seed`,
+never ``seed + i`` offsets, so no two homes — and no two components
+within a home — share an RNG stream.  The aggregate report is
+byte-identical across backends, job counts, and kill/resume boundaries
+by contract (CI diffs the bytes).
 """
 
-from .aggregate import FleetReport, aggregate, percentile
-from .runner import BACKENDS, FleetRunner
-from .spec import FleetSpec, HomeSpec, generate_fleet, home_seed
+from .aggregate import FleetAggregator, FleetReport, SampleReservoir, aggregate, percentile
+from .checkpoint import CheckpointMismatch, FleetCheckpoint, ResumeState
+from .runner import BACKENDS, FleetInterrupted, FleetRunner
+from .spec import (
+    FleetSpec,
+    HomeSpec,
+    JsonlSpecStream,
+    MemorySpecStream,
+    SpecStream,
+    generate_fleet,
+    home_seed,
+    iter_generate_fleet,
+    open_spec,
+    write_spec_jsonl,
+)
 from .worker import HomeResult, run_home
 
 __all__ = [
     "BACKENDS",
+    "CheckpointMismatch",
+    "FleetAggregator",
+    "FleetCheckpoint",
+    "FleetInterrupted",
     "FleetReport",
     "FleetRunner",
     "FleetSpec",
     "HomeResult",
     "HomeSpec",
+    "JsonlSpecStream",
+    "MemorySpecStream",
+    "ResumeState",
+    "SampleReservoir",
+    "SpecStream",
     "aggregate",
     "generate_fleet",
     "home_seed",
+    "iter_generate_fleet",
+    "open_spec",
     "percentile",
     "run_home",
+    "write_spec_jsonl",
 ]

@@ -1,0 +1,321 @@
+"""Durable fleet-run progress: a CRC-framed journal plus compacted snapshots.
+
+A fleet run at population scale is hours of work; losing it to a kill
+at home 900k of a million is the failure mode the ROADMAP's "fleet at a
+million homes" item calls out.  This module makes a run's progress
+durable with the same two primitives the crash-safe proxy uses
+(:mod:`repro.recovery`):
+
+* **Journal** — one :func:`repro.recovery.journal.frame_record` line
+  per completed home: ``(idx, home_id, status, attempts, result
+  digest, merged-so-far aggregate epoch)`` plus the full result body,
+  appended *after* the result is folded into the running aggregate.
+  Appends are flushed to the OS on every record, so a ``SIGKILL`` (the
+  process dies, the kernel's page cache does not) never loses an acked
+  home; ``fsync=True`` extends the guarantee to power cuts.
+* **Snapshot** — every ``snapshot_every`` homes the running
+  :class:`~repro.fleet.aggregate.FleetAggregator` state is compacted
+  into an atomic checksummed snapshot
+  (:func:`repro.recovery.snapshot.write_snapshot`), the journal
+  rotates to a fresh segment, and epochs older than the fallback
+  window are deleted — so both replay time *and* disk stay bounded no
+  matter how long the run.
+
+Resume (``FleetRunner(resume=True)``) loads the newest valid snapshot,
+replays the journal records after it (CRC-bad frames and torn tails
+end the readable prefix, exactly like proxy recovery; the tail is
+truncated before new appends), and re-runs only the homes past the
+reconstructed prefix.  Every snapshot and journal segment carries the
+spec's SHA-256 digest: resuming against a *different* spec raises
+:class:`CheckpointMismatch` instead of silently merging populations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..recovery.journal import JournalWriter, read_journal
+from ..recovery.snapshot import read_snapshot, write_snapshot
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointMismatch",
+    "FleetCheckpoint",
+    "ResumeState",
+    "result_digest",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Version of the fleet checkpoint container.
+CHECKPOINT_FORMAT = 1
+
+#: Snapshot/journal epochs retained for corruption fallback (current
+#: plus previous — the same window the proxy's RecoveryManager keeps).
+KEEP_EPOCHS = 2
+
+
+class CheckpointMismatch(RuntimeError):
+    """A resume was attempted against a checkpoint of a different fleet."""
+
+
+def result_digest(result_dict: Dict[str, object]) -> str:
+    """Stable SHA-256 digest of one home result's canonical encoding."""
+    body = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ResumeState:
+    """What a loaded checkpoint knows: prefix, aggregate, journal tail."""
+
+    #: every home with spec position < ``next_idx`` is already folded
+    next_idx: int = 0
+    #: aggregator state from the newest valid snapshot (``None`` = none)
+    agg_state: Optional[Dict[str, object]] = None
+    #: journal ``home`` records newer than the snapshot, in fold order
+    records: List[Dict[str, object]] = field(default_factory=list)
+    #: epoch whose snapshot seeded ``agg_state`` (0 = journal-only)
+    snapshot_epoch: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """Whether there is nothing to resume from."""
+        return self.agg_state is None and not self.records
+
+
+def _snapshot_path(state_dir: str, epoch: int) -> str:
+    return os.path.join(state_dir, f"fleet-snapshot-{epoch:08d}.json")
+
+
+def _journal_path(state_dir: str, epoch: int) -> str:
+    return os.path.join(state_dir, f"fleet-homes-{epoch:08d}.journal")
+
+
+def _list_epochs(state_dir: str, prefix: str, suffix: str) -> Tuple[int, ...]:
+    epochs = []
+    for name in os.listdir(state_dir):
+        if name.startswith(prefix) and name.endswith(suffix):
+            stem = name[len(prefix) : len(name) - len(suffix)]
+            if stem.isdigit():
+                epochs.append(int(stem))
+    return tuple(sorted(epochs))
+
+
+class FleetCheckpoint:
+    """Journal + snapshot lifecycle for one fleet run's state dir."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        name: str,
+        seed: int,
+        spec_digest: str,
+        fsync: bool = False,
+    ) -> None:
+        self.state_dir = state_dir
+        self.fsync = fsync
+        self.header: Dict[str, object] = {
+            "format": CHECKPOINT_FORMAT,
+            "name": name,
+            "seed": int(seed),
+            "spec_digest": spec_digest,
+        }
+        os.makedirs(state_dir, exist_ok=True)
+        self._epoch = 0
+        self._writer: Optional[JournalWriter] = None
+
+    @property
+    def epoch(self) -> int:
+        """Current snapshot/journal epoch."""
+        return self._epoch
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start_fresh(self) -> None:
+        """Begin a brand-new run: wipe any prior checkpoint files."""
+        for epoch in self._snapshot_epochs():
+            os.unlink(_snapshot_path(self.state_dir, epoch))
+        for epoch in self._journal_epochs():
+            os.unlink(_journal_path(self.state_dir, epoch))
+        self._epoch = 0
+        self._open_writer(truncate_to=None)
+
+    def load(self) -> ResumeState:
+        """Reconstruct the furthest trustworthy prefix of a prior run.
+
+        Snapshot selection is fail-soft (a corrupt newest snapshot
+        falls back to the previous epoch, like proxy recovery); header
+        mismatch is fail-closed (:class:`CheckpointMismatch`) — a
+        digest that differs means this state dir belongs to a
+        different spec, and "resume" would silently corrupt the
+        population.  Journal tails are truncated to their valid prefix
+        before the writer reopens for append.
+        """
+        state = ResumeState()
+        snapshot_agg_epoch = -1
+        for epoch in reversed(self._snapshot_epochs()):
+            document = read_snapshot(_snapshot_path(self.state_dir, epoch))
+            if document is None:  # corrupt/truncated: fall back one epoch
+                logger.warning("fleet snapshot epoch %d unreadable; falling back", epoch)
+                continue
+            self._check_header(document.get("header"), f"snapshot epoch {epoch}")
+            state.agg_state = document["agg"]
+            state.next_idx = int(document["next_idx"])
+            state.snapshot_epoch = epoch
+            snapshot_agg_epoch = int(document["agg"].get("epoch", 0))
+            break
+        else:
+            if self._snapshot_epochs():
+                # Snapshots were written but every retained epoch is
+                # unreadable: the folded prefix cannot be reconstructed
+                # (journal segments before the window are compacted
+                # away).  Resuming would silently drop homes — refuse.
+                raise CheckpointMismatch(
+                    f"{self.state_dir}: every retained fleet snapshot is "
+                    "corrupt; the run cannot be resumed — start fresh "
+                    "without --resume"
+                )
+
+        newest_journal = state.snapshot_epoch
+        for epoch in self._journal_epochs():
+            if epoch < state.snapshot_epoch:
+                continue
+            newest_journal = max(newest_journal, epoch)
+            path = _journal_path(self.state_dir, epoch)
+            read = read_journal(path)
+            if read.torn:
+                logger.warning(
+                    "fleet journal epoch %d torn (%s); keeping %d valid bytes",
+                    epoch, read.torn_reason, read.valid_bytes,
+                )
+            for record in read.records:
+                kind = record.get("kind")
+                if kind == "header":
+                    self._check_header(record.get("header"), f"journal epoch {epoch}")
+                    continue
+                if kind != "home":
+                    continue
+                if int(record.get("agg_epoch", 0)) <= snapshot_agg_epoch:
+                    continue  # already folded into the snapshot
+                if result_digest(record["result"]) != record.get("digest"):
+                    # CRC passed but the body does not match its own
+                    # digest: treat like corruption — trust nothing
+                    # past this record (fail-closed).
+                    logger.warning(
+                        "fleet journal epoch %d: result digest mismatch at idx %s; "
+                        "discarding the rest of the segment",
+                        epoch, record.get("idx"),
+                    )
+                    break
+                state.records.append(record)
+
+        if state.records:
+            state.next_idx = max(
+                state.next_idx, max(int(r["idx"]) for r in state.records) + 1
+            )
+        self._epoch = newest_journal
+        # Reopen the newest segment for append, torn tail cut off.
+        newest_path = _journal_path(self.state_dir, self._epoch)
+        if os.path.exists(newest_path):
+            read = read_journal(newest_path)
+            self._open_writer(truncate_to=read.valid_bytes)
+        else:
+            self._open_writer(truncate_to=None)
+        return state
+
+    # -- appends -----------------------------------------------------------------
+
+    def record_home(
+        self,
+        idx: int,
+        result_dict: Dict[str, object],
+        agg_epoch: int,
+    ) -> None:
+        """Journal one completed home (call *after* folding it)."""
+        if self._writer is None:
+            raise ValueError("checkpoint is closed (or was never started)")
+        self._writer.append(
+            {
+                "kind": "home",
+                "idx": int(idx),
+                "home_id": str(result_dict.get("home_id", "")),
+                "status": str(result_dict.get("status", "")),
+                "attempts": int(result_dict.get("attempts", 1)),
+                "digest": result_digest(result_dict),
+                "agg_epoch": int(agg_epoch),
+                "result": result_dict,
+            }
+        )
+
+    def compact(self, next_idx: int, agg_state: Dict[str, object]) -> None:
+        """Snapshot the running aggregate and rotate the journal.
+
+        Write snapshot ``e+1`` atomically, open journal ``e+1``, then
+        delete epochs older than the fallback window — replay cost and
+        disk usage stay bounded by ``snapshot_every`` homes regardless
+        of run length.
+        """
+        self._epoch += 1
+        write_snapshot(
+            _snapshot_path(self.state_dir, self._epoch),
+            {"header": self.header, "next_idx": int(next_idx), "agg": agg_state},
+        )
+        self._open_writer(truncate_to=None)
+        # Keep the newest KEEP_EPOCHS snapshots and the journal segments
+        # that replay on top of them; journal e-1's records are already
+        # inside snapshot e, so everything below the window can go.
+        keep_from = self._epoch - (KEEP_EPOCHS - 1)
+        for epoch in self._snapshot_epochs():
+            if epoch < keep_from:
+                os.unlink(_snapshot_path(self.state_dir, epoch))
+        for epoch in self._journal_epochs():
+            if epoch < keep_from:
+                os.unlink(_journal_path(self.state_dir, epoch))
+
+    def close(self) -> None:
+        """Flush and close the journal writer (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def __enter__(self) -> "FleetCheckpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _snapshot_epochs(self) -> Tuple[int, ...]:
+        return _list_epochs(self.state_dir, "fleet-snapshot-", ".json")
+
+    def _journal_epochs(self) -> Tuple[int, ...]:
+        return _list_epochs(self.state_dir, "fleet-homes-", ".journal")
+
+    def _open_writer(self, truncate_to: Optional[int]) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        path = _journal_path(self.state_dir, self._epoch)
+        fresh = not os.path.exists(path) or truncate_to == 0
+        self._writer = JournalWriter(path, fsync=self.fsync, truncate_to=truncate_to)
+        if fresh or self._writer.size_bytes == 0:
+            # Every segment self-identifies: resume validates the header
+            # even when no snapshot was ever written.
+            self._writer.append({"kind": "header", "header": self.header})
+
+    def _check_header(self, header: Optional[Dict[str, object]], where: str) -> None:
+        if not isinstance(header, dict):
+            raise CheckpointMismatch(f"{where}: checkpoint header missing")
+        for key in ("format", "name", "seed", "spec_digest"):
+            if header.get(key) != self.header[key]:
+                raise CheckpointMismatch(
+                    f"{where}: checkpoint {key} {header.get(key)!r} does not match "
+                    f"this run's {self.header[key]!r} — refusing to resume a "
+                    f"different fleet (use a fresh --state-dir)"
+                )

@@ -1,8 +1,9 @@
-"""Shared-nothing fleet execution: serial or process-pool backends.
+"""Durable fleet execution: streaming, checkpointed, serial or process-pool.
 
-:class:`FleetRunner` walks a :class:`~repro.fleet.spec.FleetSpec` and
-produces one :class:`~repro.fleet.aggregate.FleetReport`.  Two backends
-share a single code path per home (:func:`~repro.fleet.worker.run_home`):
+:class:`FleetRunner` walks a :class:`~repro.fleet.spec.SpecStream` (or a
+materialised :class:`~repro.fleet.spec.FleetSpec`) and produces one
+:class:`~repro.fleet.aggregate.FleetReport`.  Two backends share a
+single code path per home (:func:`~repro.fleet.worker.run_home`):
 
 ``serial``
     In-process, one home after another — the reference execution.
@@ -12,45 +13,95 @@ share a single code path per home (:func:`~repro.fleet.worker.run_home`):
     materialises a million futures.
 
 Determinism: homes are independent (shared-nothing, hash-derived
-seeds), and results are *collected strictly in spec order*, so the
-aggregate report is byte-identical across backends and any ``--jobs``
-value — completion order never leaks into the output.
+seeds), results are *collected strictly in spec order*, and aggregation
+folds incrementally in that order — the report is byte-identical across
+backends, any ``--jobs`` value, and (with ``state_dir``) across a
+kill/resume boundary: a run ``SIGKILL``-ed at any home and resumed with
+``resume=True`` produces the same bytes as an uninterrupted one.
 
-Failure semantics — fail the home, never the fleet:
+Memory: the spec streams in, the aggregate folds incrementally
+(reservoir percentiles, capped ok-home rows), and no O(homes) result
+list ever exists — peak RSS is bounded in fleet size.
 
-* A worker that raises (a poisoned or genuinely buggy home) marks that
-  home ``failed`` with the exception text; the fleet continues.
+Failure policy — fail the home, never the fleet:
+
+* A worker that raises (a poisoned or genuinely buggy home) is retried
+  up to ``retries`` times with seeded exponential backoff; a home that
+  exhausts the budget is marked ``failed`` and *quarantined* — listed
+  in the report and reattemptable with ``resume=True,
+  retry_quarantined=True`` without re-running the healthy homes.
 * A worker *process death* (power cut, OOM kill — surfaces as
   ``BrokenProcessPool``) kills every in-flight future, and the pool
   cannot name the culprit.  The runner rebuilds the pool and reruns the
-  home being collected *in isolation*: an innocent bystander passes its
-  isolated rerun and the fleet re-pipelines; a crasher breaks the fresh
-  pool with only itself in flight and is marked ``failed`` after its
-  retry (two attempts), never taking a neighbour down with it.
-* A per-home timeout marks the home ``failed`` (the stuck worker is
-  abandoned to the pool's shutdown); the deadline is measured from when
-  collection reaches the home, i.e. it is a *liveness* bound, not a
-  wall-clock budget.
+  home being collected *in isolation* (distinct from the retry/backoff
+  policy): an innocent bystander passes its isolated rerun; a crasher
+  breaks the fresh pool with only itself in flight and is failed after
+  that second break, never taking a neighbour down with it.
+* A per-home timeout *rebuilds the pool* (a running future cannot be
+  cancelled, so the stuck worker would otherwise occupy a slot for the
+  rest of the run), kills the abandoned workers, re-pipelines the
+  pending window, and counts against the same retry budget.  The
+  serial backend cannot preempt a running home, so it *rejects*
+  ``timeout_s`` outright instead of silently ignoring it; ``auto``
+  with a timeout therefore resolves to the process backend.
+* ``SIGINT``/``SIGTERM`` stop the run cleanly after the home currently
+  being collected: a final checkpoint is compacted and
+  :class:`FleetInterrupted` carries the partial report (explicit
+  coverage counts) so non-strict callers can still use it.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import random
+import signal
+import threading
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Iterator, Optional, Set, Tuple
 
-from .aggregate import FleetReport, aggregate
-from .spec import FleetSpec, HomeSpec
+from ..util import spawn_seed
+from .aggregate import FleetAggregator, FleetReport
+from .checkpoint import FleetCheckpoint
+from .spec import FleetSpec, HomeSpec, SpecStream
 from .worker import HomeResult, run_home, run_home_payload
 
-__all__ = ["FleetRunner", "BACKENDS"]
+__all__ = ["FleetRunner", "FleetInterrupted", "BACKENDS", "KILL_AFTER_ENV"]
 
 logger = logging.getLogger(__name__)
 
-#: Supported execution backends (``auto`` resolves by ``jobs``).
+#: Supported execution backends (``auto`` resolves by ``jobs``/timeout).
 BACKENDS = ("auto", "serial", "process")
+
+#: Test/CI hook: when set to N, the runner SIGKILLs its own process the
+#: moment N homes have been folded this run — a deterministic stand-in
+#: for "the operator's box died mid-fleet" in resume smoke tests.
+KILL_AFTER_ENV = "FIAT_FLEET_KILL_AFTER"
+
+#: Signals that trigger a clean stop-and-checkpoint.
+_STOP_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class FleetInterrupted(RuntimeError):
+    """A stop signal ended the run after a clean final checkpoint.
+
+    Carries the partial :class:`FleetReport` (``coverage["partial"]``
+    set, explicit completed/planned counts) so non-strict callers can
+    still consume what finished; the run is resumable from the state
+    dir it checkpointed into.
+    """
+
+    def __init__(self, report: FleetReport) -> None:
+        coverage = report.coverage
+        super().__init__(
+            f"fleet run interrupted after {coverage.get('completed', 0)}/"
+            f"{coverage.get('planned', report.n_homes)} homes"
+        )
+        self.report = report
 
 
 class FleetRunner:
@@ -58,33 +109,167 @@ class FleetRunner:
 
     def __init__(
         self,
-        spec: FleetSpec,
+        spec: "FleetSpec | SpecStream",
         jobs: int = 1,
         backend: str = "auto",
         timeout_s: Optional[float] = None,
         state_root: Optional[str] = None,
+        state_dir: Optional[str] = None,
+        resume: bool = False,
+        retry_quarantined: bool = False,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        snapshot_every: int = 32,
+        fsync: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.spec = spec
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if backend == "serial" and timeout_s is not None:
+            raise ValueError(
+                "the serial backend cannot enforce timeout_s (a home runs "
+                "in-process and cannot be preempted) — use backend='process' "
+                "or 'auto', or drop the timeout"
+            )
+        if (resume or retry_quarantined) and not state_dir:
+            raise ValueError("resume/retry_quarantined require a state_dir")
+        self.source: SpecStream = spec.stream() if isinstance(spec, FleetSpec) else spec
         self.jobs = jobs
-        self.backend = backend if backend != "auto" else ("serial" if jobs == 1 else "process")
+        if backend == "auto":
+            backend = "process" if (jobs > 1 or timeout_s is not None) else "serial"
+        self.backend = backend
         self.timeout_s = timeout_s
         self.state_root = state_root
+        self.state_dir = state_dir
+        self.resume = resume
+        self.retry_quarantined = retry_quarantined
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self._stop_requested = False
+        self._next_idx = 0
+        self._seen = 0
+        self._folded_this_run = 0
+        self._kill_after = 0
 
     # -- public API --------------------------------------------------------------
 
     def run(self) -> FleetReport:
-        """Execute the fleet and return the aggregated population report."""
-        if self.backend == "serial":
-            results = self._run_serial()
-        else:
-            results = self._run_process()
-        return aggregate(self.spec, results)
+        """Execute the fleet and return the aggregated population report.
 
-    # -- failure bookkeeping -----------------------------------------------------
+        Raises :class:`FleetInterrupted` (carrying the partial report)
+        when a stop signal arrives mid-run; with a ``state_dir`` the
+        final checkpoint is compacted first, so ``resume=True`` picks
+        up exactly where the signal landed.
+        """
+        agg = FleetAggregator(self.source.name, self.source.seed)
+        checkpoint: Optional[FleetCheckpoint] = None
+        rerun: Set[int] = set()
+        self._stop_requested = False
+        self._next_idx = 0
+        self._seen = 0
+        self._folded_this_run = 0
+        self._kill_after = int(os.environ.get(KILL_AFTER_ENV, "0") or 0)
+
+        if self.state_dir:
+            checkpoint = FleetCheckpoint(
+                self.state_dir,
+                name=self.source.name,
+                seed=self.source.seed,
+                spec_digest=self.source.digest,
+                fsync=self.fsync,
+            )
+            if self.resume:
+                state = checkpoint.load()
+                if state.agg_state is not None:
+                    agg = FleetAggregator.from_state(
+                        state.agg_state, self.source.name, self.source.seed
+                    )
+                for record in state.records:
+                    agg.add(int(record["idx"]), HomeResult.from_dict(record["result"]))
+                self._next_idx = state.next_idx
+                if state.next_idx:
+                    logger.info(
+                        "resuming fleet %r: %d homes already folded",
+                        self.source.name, agg.completed,
+                    )
+                if self.retry_quarantined:
+                    rerun = {idx for idx, _ in agg.quarantined}
+                    if rerun:
+                        logger.info("re-attempting %d quarantined homes", len(rerun))
+            else:
+                checkpoint.start_fresh()
+
+        previous_handlers = self._install_stop_handlers()
+        try:
+            work = self._work(self._next_idx, rerun)
+            if self.backend == "serial":
+                self._run_serial(work, agg, checkpoint)
+            else:
+                self._run_process(work, agg, checkpoint)
+        finally:
+            self._restore_stop_handlers(previous_handlers)
+            if checkpoint is not None:
+                # Final (or interrupt) compaction: resume never replays
+                # a single home that was already collected.
+                checkpoint.compact(self._next_idx, agg.to_state())
+                checkpoint.close()
+
+        planned = self.source.n_homes if self.source.n_homes is not None else self._seen
+        report = agg.report(n_planned=planned, partial=self._stop_requested)
+        if self._stop_requested:
+            raise FleetInterrupted(report)
+        return report
+
+    # -- stop signals ------------------------------------------------------------
+
+    def _handle_stop(self, signum, frame) -> None:
+        if self._stop_requested:  # second signal: the user means *now*
+            raise KeyboardInterrupt
+        self._stop_requested = True
+        logger.warning(
+            "stop signal %d: finishing the in-flight home, then checkpointing",
+            signum,
+        )
+
+    def _install_stop_handlers(self):
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+        for sig in _STOP_SIGNALS:
+            try:
+                previous[sig] = signal.signal(sig, self._handle_stop)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_stop_handlers(previous) -> None:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    # -- shared plumbing ---------------------------------------------------------
+
+    def _work(self, next_idx: int, rerun: Set[int]) -> Iterator[Tuple[int, HomeSpec]]:
+        """Yield ``(idx, home)`` for every home this run must execute.
+
+        Walks the whole stream in spec order, skipping the checkpointed
+        prefix except for quarantined indices being re-attempted —
+        yielded indices are therefore strictly increasing, which keeps
+        the contiguous-prefix invariant the checkpoint relies on.
+        """
+        for idx, home in enumerate(self.source.iter_homes()):
+            self._seen = idx + 1
+            if idx >= next_idx or idx in rerun:
+                yield idx, home
 
     @staticmethod
     def _failure(home: HomeSpec, error: BaseException, attempts: int) -> HomeResult:
@@ -95,84 +280,196 @@ class FleetRunner:
             attempts=attempts,
         )
 
+    def _backoff_sleep(self, home_id: str, attempt: int) -> None:
+        """Seeded exponential backoff before retry ``attempt + 1``."""
+        jitter = random.Random(
+            spawn_seed(self.source.seed, "backoff", home_id, attempt)
+        ).random()
+        delay = min(self.backoff_max_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        time.sleep(delay * (0.5 + jitter))
+
+    def _fold(
+        self,
+        agg: FleetAggregator,
+        checkpoint: Optional[FleetCheckpoint],
+        idx: int,
+        result: HomeResult,
+    ) -> None:
+        agg.add(idx, result)
+        self._next_idx = max(self._next_idx, idx + 1)
+        if checkpoint is not None:
+            checkpoint.record_home(idx, result.to_dict(), agg.epoch)
+            if agg.epoch % self.snapshot_every == 0:
+                checkpoint.compact(self._next_idx, agg.to_state())
+        self._folded_this_run += 1
+        if self._kill_after and self._folded_this_run >= self._kill_after:
+            # Deterministic crash injection for resume smoke tests: die
+            # the hard way, exactly like a powered-off operator box.
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+
     # -- serial backend ----------------------------------------------------------
 
-    def _run_serial(self) -> List[HomeResult]:
-        results: List[HomeResult] = []
-        for home in self.spec.homes:
+    def _run_serial(
+        self,
+        work: Iterator[Tuple[int, HomeSpec]],
+        agg: FleetAggregator,
+        checkpoint: Optional[FleetCheckpoint],
+    ) -> None:
+        for idx, home in work:
+            if self._stop_requested:
+                return
+            self._fold(agg, checkpoint, idx, self._run_one_serial(home))
+
+    def _run_one_serial(self, home: HomeSpec) -> HomeResult:
+        for attempt in range(1, self.retries + 2):
             try:
-                results.append(run_home(home, state_root=self.state_root))
+                result = run_home(home, state_root=self.state_root)
+                result.attempts = attempt
+                return result
             except Exception as error:  # fail the home, not the fleet
-                logger.warning("home %s failed: %s", home.home_id, error)
-                results.append(self._failure(home, error, attempts=1))
-        return results
+                logger.warning(
+                    "home %s failed (attempt %d/%d): %s",
+                    home.home_id, attempt, self.retries + 1, error,
+                )
+                if attempt > self.retries:
+                    return self._failure(home, error, attempt)
+                self._backoff_sleep(home.home_id, attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- process backend ---------------------------------------------------------
 
     def _payload(self, home: HomeSpec) -> Dict[str, object]:
         return {"home": home.to_dict(), "state_root": self.state_root}
 
-    def _run_process(self) -> List[HomeResult]:
-        homes = self.spec.homes
-        n = len(homes)
-        results: List[Optional[HomeResult]] = [None] * n
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """Abandon a pool without letting stuck workers outlive the run."""
+        # Grab the worker handles before shutdown (it may null the map).
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.kill()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
+        # Workers are dead, so this returns promptly: joining the
+        # management thread deregisters the executor's atexit wakeup
+        # (otherwise interpreter shutdown trips on its closed pipe).
+        executor.shutdown(wait=True)
+
+    def _run_process(
+        self,
+        work: Iterator[Tuple[int, HomeSpec]],
+        agg: FleetAggregator,
+        checkpoint: Optional[FleetCheckpoint],
+    ) -> None:
         window = 2 * self.jobs
         executor = ProcessPoolExecutor(max_workers=self.jobs)
+        pending: Deque[Tuple[int, HomeSpec]] = deque()
         futures: Dict[int, object] = {}
-        next_submit = 0
-        abandoned_worker = False
+        exhausted = False
+        clean = False
         try:
-            for i in range(n):
+            while True:
                 # Keep the in-flight window full ahead of the collector.
-                while next_submit < n and next_submit < i + window:
-                    futures[next_submit] = executor.submit(
-                        run_home_payload, self._payload(homes[next_submit])
-                    )
-                    next_submit += 1
+                while not exhausted and len(pending) < window and not self._stop_requested:
+                    try:
+                        idx, home = next(work)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append((idx, home))
+                    futures[idx] = executor.submit(run_home_payload, self._payload(home))
+                if not pending:
+                    break
+                idx, home = pending.popleft()
 
                 attempts = 0
-                while results[i] is None:
-                    if i not in futures:  # lazily resubmitted after a pool break
-                        futures[i] = executor.submit(
-                            run_home_payload, self._payload(homes[i])
+                raised = 0
+                timeouts = 0
+                pool_breaks = 0
+                result: Optional[HomeResult] = None
+                while result is None:
+                    if idx not in futures:  # resubmitted after a rebuild/retry
+                        futures[idx] = executor.submit(
+                            run_home_payload, self._payload(home)
                         )
                     attempts += 1
                     try:
-                        payload = futures[i].result(timeout=self.timeout_s)  # type: ignore[union-attr]
+                        payload = futures[idx].result(timeout=self.timeout_s)  # type: ignore[union-attr]
                         result = HomeResult.from_dict(payload)  # type: ignore[arg-type]
                         result.attempts = attempts
-                        results[i] = result
                     except BrokenProcessPool as error:
                         # A worker process died, killing every in-flight
                         # future — the pool cannot say whose.  Rebuild
-                        # and rerun home i *alone*: a crasher breaks the
-                        # fresh pool by itself (conclusive after its
-                        # retry); a bystander passes the isolated rerun
-                        # and later homes resubmit lazily.
+                        # and rerun home idx *alone*: a crasher breaks
+                        # the fresh pool by itself (conclusive after its
+                        # isolated rerun); a bystander passes and the
+                        # window re-pipelines below.
+                        pool_breaks += 1
                         logger.warning(
                             "process pool broke while collecting %s (attempt %d): %s",
-                            homes[i].home_id, attempts, error,
+                            home.home_id, attempts, error,
                         )
-                        executor.shutdown(wait=False, cancel_futures=True)
+                        self._kill_pool(executor)
                         executor = ProcessPoolExecutor(max_workers=self.jobs)
                         futures.clear()
-                        if attempts >= 2:  # retried in isolation — fail the home
-                            results[i] = self._failure(homes[i], error, attempts)
+                        if pool_breaks >= 2:  # retried in isolation — fail it
+                            result = self._failure(home, error, attempts)
                     except FutureTimeoutError:
-                        futures[i].cancel()  # type: ignore[union-attr]
-                        abandoned_worker = True
-                        logger.warning("home %s timed out", homes[i].home_id)
-                        results[i] = self._failure(
-                            homes[i],
-                            TimeoutError(f"no result within {self.timeout_s}s"),
-                            attempts,
+                        # A running future cannot be cancelled: without a
+                        # rebuild the stuck worker would keep its pool
+                        # slot for the rest of the run (and a second
+                        # timeout would serialize everything behind it).
+                        timeouts += 1
+                        logger.warning(
+                            "home %s timed out (attempt %d)", home.home_id, attempts
                         )
+                        self._kill_pool(executor)
+                        executor = ProcessPoolExecutor(max_workers=self.jobs)
+                        futures.clear()
+                        if timeouts > self.retries:
+                            result = self._failure(
+                                home,
+                                TimeoutError(f"no result within {self.timeout_s}s"),
+                                attempts,
+                            )
+                        else:
+                            self._backoff_sleep(home.home_id, attempts)
                     except Exception as error:  # raised inside the worker
-                        logger.warning("home %s failed: %s", homes[i].home_id, error)
-                        results[i] = self._failure(homes[i], error, attempts)
-                futures.pop(i, None)
+                        raised += 1
+                        futures.pop(idx, None)
+                        logger.warning(
+                            "home %s failed (attempt %d): %s",
+                            home.home_id, attempts, error,
+                        )
+                        if raised > self.retries:
+                            result = self._failure(home, error, attempts)
+                        else:
+                            self._backoff_sleep(home.home_id, attempts)
+                futures.pop(idx, None)
+
+                # Re-pipeline everything a rebuild dropped, *after* the
+                # current home resolved (pool-break isolation holds while
+                # it is in flight; pending homes must not serialize).
+                for pending_idx, pending_home in pending:
+                    if pending_idx not in futures:
+                        futures[pending_idx] = executor.submit(
+                            run_home_payload, self._payload(pending_home)
+                        )
+
+                self._fold(agg, checkpoint, idx, result)
+                if self._stop_requested:
+                    return
+            clean = True
         finally:
-            # A clean join avoids interpreter-exit noise; after a
-            # timeout the stuck worker must not block the fleet.
-            executor.shutdown(wait=not abandoned_worker, cancel_futures=True)
-        return [result for result in results if result is not None]
+            if clean:
+                # Normal completion: every future was collected, the
+                # pool is idle — a graceful shutdown keeps interpreter
+                # exit quiet.
+                executor.shutdown(wait=True, cancel_futures=True)
+            else:
+                # Stop signal or error with homes possibly still (or
+                # forever — a hung worker) in flight: never leave a
+                # stuck worker behind.
+                self._kill_pool(executor)

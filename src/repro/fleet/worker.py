@@ -20,6 +20,8 @@ byte-identical-across-backends guarantee.
 from __future__ import annotations
 
 import os
+import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
@@ -123,6 +125,22 @@ def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
         raise RuntimeError(f"poison home {spec.home_id}")
     if spec.poison == "exit":  # pragma: no cover - kills the test process
         os._exit(17)
+    if spec.poison == "hang":  # pragma: no cover - worker is killed by the runner
+        # Simulates a wedged worker for the liveness-timeout path; the
+        # runner kills the abandoned process, so the sleep never runs out.
+        time.sleep(3600)
+    if spec.poison == "flaky":
+        # Fails exactly once per marker dir (FIAT_FLAKY_DIR): the
+        # retry/backoff and quarantine-reattempt tests' success-on-retry
+        # home.  State lives on disk so it survives the process boundary.
+        marker = os.path.join(
+            os.environ.get("FIAT_FLAKY_DIR", tempfile.gettempdir()),
+            f"fiat-flaky-{spec.home_id}",
+        )
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8"):
+                pass
+            raise RuntimeError(f"flaky home {spec.home_id} (first attempt)")
 
     obs = Observability(trace_seed=spec.seed % (2**32))
     system = FiatSystem(

@@ -68,7 +68,13 @@ class JournalWriter:
     corruption/truncation.
     """
 
-    def __init__(self, path: str, fsync: bool = False) -> None:
+    def __init__(self, path: str, fsync: bool = False, truncate_to: Optional[int] = None) -> None:
+        if truncate_to is not None and os.path.exists(path):
+            # Resume hook: cut a torn tail (everything past the last
+            # valid frame, as reported by :func:`read_journal`) before
+            # reopening for append, so the segment stays parseable.
+            with open(path, "rb+") as handle:
+                handle.truncate(truncate_to)
         self.path = path
         self.fsync = fsync
         self._handle: Optional[io.BufferedWriter] = open(path, "ab")

@@ -78,10 +78,11 @@ CASES = [
         lambda root: [
             "fleet", "--homes", "2", "--jobs", "1",
             "--manual", "2", "--non-manual", "3", "--attacks", "1",
+            "--state-dir", str(root / "fleet-state"),
             "--out", str(root / "fleet-report.json"),
-            "--spec-out", str(root / "fleet-spec.json"),
+            "--spec-out", str(root / "fleet-spec.jsonl"),
         ],
-        ["fleet-report.json", "fleet-spec.json"],
+        ["fleet-report.json", "fleet-spec.jsonl"],
     ),
     (
         "obs-report",
@@ -131,8 +132,29 @@ def test_every_subcommand_is_smoked():
 def test_fleet_cli_report_parses(workdir):
     """The fleet artifacts written above are valid, linked documents."""
     report = json.loads((workdir / "fleet-report.json").read_text())
-    spec = json.loads((workdir / "fleet-spec.json").read_text())
-    assert report["n_homes"] == len(spec["homes"]) == 2
+    lines = (workdir / "fleet-spec.jsonl").read_text().splitlines()
+    header = json.loads(lines[0])["fleet"]
+    homes = [json.loads(line) for line in lines[1:]]
+    assert report["n_homes"] == header["n_homes"] == len(homes) == 2
     assert [h["home_id"] for h in report["homes"]] == [
-        h["home_id"] for h in spec["homes"]
+        h["home_id"] for h in homes
     ]
+    assert report["coverage"]["partial"] is False
+
+
+def test_fleet_cli_resume_of_complete_run_is_noop(workdir, capsys):
+    """--resume over a finished checkpoint re-runs nothing, same bytes."""
+    assert (workdir / "fleet-state").is_dir()
+    code = main(
+        [
+            "fleet", "--homes", "2", "--jobs", "1",
+            "--manual", "2", "--non-manual", "3", "--attacks", "1",
+            "--state-dir", str(workdir / "fleet-state"), "--resume",
+            "--out", str(workdir / "fleet-resumed.json"),
+        ]
+    )
+    assert code == 0 and capsys.readouterr().out.strip()
+    assert (
+        (workdir / "fleet-resumed.json").read_bytes()
+        == (workdir / "fleet-report.json").read_bytes()
+    )

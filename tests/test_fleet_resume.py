@@ -1,0 +1,495 @@
+"""Tests for durable fleet runs: checkpoint, resume, corruption, retry.
+
+The contract under test is the tentpole claim: a fleet run killed at
+any home — SIGKILL included — and resumed with ``resume=True`` produces
+a report byte-identical to an uninterrupted run, re-running only the
+homes past the reconstructed prefix; corruption of the checkpoint
+(torn tails, CRC-bad frames, unreadable snapshots) degrades resume
+fail-soft to the last good record, never to a silently-wrong report.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fleet import (
+    CheckpointMismatch,
+    FleetAggregator,
+    FleetCheckpoint,
+    FleetInterrupted,
+    FleetRunner,
+    SampleReservoir,
+    SpecStream,
+    generate_fleet,
+    run_home,
+)
+from repro.fleet.aggregate import percentile
+from repro.fleet.checkpoint import ResumeState, result_digest
+from repro.fleet.runner import KILL_AFTER_ENV
+from repro.recovery.journal import JournalWriter
+
+N_HOMES = 4
+SEED = 11
+SPEC_KWARGS = dict(
+    n_manual=2, n_non_manual=3, n_attacks=1, n_training_events=60
+)
+
+
+def _spec(n=N_HOMES, seed=SEED):
+    return generate_fleet(n, seed=seed, **SPEC_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One small fleet, its per-home results, and the baseline report bytes.
+
+    Results are computed once (a ``HomeResult`` is a pure function of
+    its spec); the baseline is the spec-order fold of all of them —
+    exactly what any uninterrupted run must produce.
+    """
+    spec = _spec()
+    stream = spec.stream()
+    results = [run_home(home) for home in spec.homes]
+    agg = FleetAggregator(spec.name, spec.seed)
+    for idx, result in enumerate(results):
+        agg.add(idx, result)
+    baseline = agg.report(n_planned=N_HOMES).to_json()
+    return SimpleNamespace(spec=spec, stream=stream, results=results, baseline=baseline)
+
+
+def _partial_dir(tmp_path, fleet, k, snapshot_every=2):
+    """A state dir as a run SIGKILLed after ``k`` folded homes leaves it.
+
+    Mirrors the runner's fold loop (record after fold, compact every
+    ``snapshot_every`` epochs) but skips the final compaction — a hard
+    kill never reaches it.
+    """
+    state_dir = str(tmp_path / f"state-k{k}")
+    checkpoint = FleetCheckpoint(
+        state_dir,
+        name=fleet.stream.name,
+        seed=fleet.stream.seed,
+        spec_digest=fleet.stream.digest,
+    )
+    checkpoint.start_fresh()
+    agg = FleetAggregator(fleet.spec.name, fleet.spec.seed)
+    for idx in range(k):
+        agg.add(idx, fleet.results[idx])
+        checkpoint.record_home(idx, fleet.results[idx].to_dict(), agg.epoch)
+        if agg.epoch % snapshot_every == 0:
+            checkpoint.compact(idx + 1, agg.to_state())
+    checkpoint.close()
+    return state_dir
+
+
+def _resume(fleet, state_dir, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("snapshot_every", 2)
+    return FleetRunner(
+        fleet.spec, state_dir=state_dir, resume=True, **kwargs
+    ).run()
+
+
+def _newest(state_dir, prefix):
+    names = sorted(n for n in os.listdir(state_dir) if n.startswith(prefix))
+    return os.path.join(state_dir, names[-1])
+
+
+class TestCheckpointLayer:
+    def test_empty_dir_loads_empty_state(self, tmp_path, fleet):
+        checkpoint = FleetCheckpoint(
+            str(tmp_path), "f", 0, spec_digest=fleet.stream.digest
+        )
+        state = checkpoint.load()
+        checkpoint.close()
+        assert state.empty and state.next_idx == 0 and state.records == []
+
+    def test_load_reconstructs_prefix(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=3)
+        checkpoint = FleetCheckpoint(
+            state_dir,
+            name=fleet.stream.name,
+            seed=fleet.stream.seed,
+            spec_digest=fleet.stream.digest,
+        )
+        state = checkpoint.load()
+        checkpoint.close()
+        assert not state.empty
+        assert state.next_idx == 3
+        # snapshot + journal replay together cover exactly homes 0..2
+        replayed = {int(r["idx"]) for r in state.records}
+        agg = FleetAggregator.from_state(
+            state.agg_state, fleet.spec.name, fleet.spec.seed
+        )
+        assert agg.completed + len(replayed) == 3
+
+    def test_start_fresh_wipes_prior_state(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=3)
+        checkpoint = FleetCheckpoint(
+            state_dir,
+            name=fleet.stream.name,
+            seed=fleet.stream.seed,
+            spec_digest=fleet.stream.digest,
+        )
+        checkpoint.start_fresh()
+        checkpoint.close()
+        state = checkpoint.load()
+        checkpoint.close()
+        assert state.empty
+
+    def test_record_after_close_raises(self, tmp_path, fleet):
+        checkpoint = FleetCheckpoint(
+            str(tmp_path), "f", 0, spec_digest=fleet.stream.digest
+        )
+        checkpoint.start_fresh()
+        checkpoint.close()
+        with pytest.raises(ValueError, match="closed"):
+            checkpoint.record_home(0, fleet.results[0].to_dict(), 1)
+
+    def test_result_digest_is_key_order_invariant(self):
+        assert result_digest({"a": 1, "b": 2}) == result_digest({"b": 2, "a": 1})
+        assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+    def test_resume_state_empty_property(self):
+        assert ResumeState().empty
+        assert not ResumeState(records=[{"idx": 0}]).empty
+        assert not ResumeState(agg_state={"epoch": 1}).empty
+
+
+class TestResumeByteIdentical:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_resume_serial_matches_baseline(self, tmp_path, fleet, k):
+        state_dir = _partial_dir(tmp_path, fleet, k=k)
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+    def test_resume_process_backend_matches_baseline(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=2)
+        report = _resume(fleet, state_dir, jobs=2, backend="process")
+        assert report.to_json() == fleet.baseline
+
+    def test_resume_after_complete_runs_nothing(self, tmp_path, fleet, monkeypatch):
+        state_dir = _partial_dir(tmp_path, fleet, k=N_HOMES)
+
+        def _boom(*args, **kwargs):  # the resumed run must not execute homes
+            raise AssertionError("a fully-checkpointed run re-ran a home")
+
+        monkeypatch.setattr("repro.fleet.runner.run_home", _boom)
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+
+class TestResumeUnderCorruption:
+    def test_torn_tail_falls_back_to_last_good_record(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=3, snapshot_every=100)
+        journal = _newest(state_dir, "fleet-homes-")
+        with open(journal, "ab") as handle:
+            handle.write(b'8badf00d {"kind": "home", "idx": 99, "trunc')
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+        # the torn tail was cut (and later epochs never carried it)
+        for name in os.listdir(state_dir):
+            with open(os.path.join(state_dir, name), "rb") as handle:
+                assert b"trunc" not in handle.read()
+
+    def test_crc_corrupt_record_ends_readable_prefix(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=3, snapshot_every=100)
+        journal = _newest(state_dir, "fleet-homes-")
+        with open(journal, "rb") as handle:
+            data = bytearray(handle.read())
+        # flip one payload byte inside the *last* frame: CRC now fails,
+        # so the readable prefix ends at home 1 and homes 2..3 re-run
+        last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        target = last_line_start + 20
+        data[target] = ord(b"Z") if data[target] != ord(b"Z") else ord(b"Q")
+        with open(journal, "wb") as handle:
+            handle.write(bytes(data))
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+    def test_digest_mismatch_discards_rest_of_segment(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=2, snapshot_every=100)
+        journal = _newest(state_dir, "fleet-homes-")
+        # CRC-valid frames whose body lies about its own digest: the
+        # bad record and everything after it must be distrusted.
+        with JournalWriter(journal) as writer:
+            for idx, digest in ((2, "0" * 64), (3, None)):
+                result = fleet.results[idx].to_dict()
+                writer.append(
+                    {
+                        "kind": "home",
+                        "idx": idx,
+                        "home_id": result["home_id"],
+                        "status": result["status"],
+                        "attempts": 1,
+                        "digest": digest or result_digest(result),
+                        "agg_epoch": idx + 1,
+                        "result": result,
+                    }
+                )
+        checkpoint = FleetCheckpoint(
+            state_dir,
+            name=fleet.stream.name,
+            seed=fleet.stream.seed,
+            spec_digest=fleet.stream.digest,
+        )
+        state = checkpoint.load()
+        checkpoint.close()
+        assert state.next_idx == 2  # idx 3's good record is past the bad one
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+    def test_corrupt_newest_snapshot_falls_back_one_epoch(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=N_HOMES, snapshot_every=2)
+        snapshot = _newest(state_dir, "fleet-snapshot-")
+        with open(snapshot, "wb") as handle:
+            handle.write(b"not json at all")
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+    def test_every_snapshot_corrupt_refuses_resume(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=N_HOMES, snapshot_every=2)
+        for name in os.listdir(state_dir):
+            if name.startswith("fleet-snapshot-"):
+                with open(os.path.join(state_dir, name), "wb") as handle:
+                    handle.write(b"garbage")
+        with pytest.raises(CheckpointMismatch, match="corrupt"):
+            _resume(fleet, state_dir)
+
+    def test_resume_against_different_spec_refused(self, tmp_path, fleet):
+        state_dir = _partial_dir(tmp_path, fleet, k=2)
+        other = _spec(seed=SEED + 1)
+        with pytest.raises(CheckpointMismatch, match="different fleet"):
+            FleetRunner(
+                other, jobs=1, state_dir=state_dir, resume=True
+            ).run()
+
+
+class _StopDuringStream(SpecStream):
+    """Spec stream that requests a stop while yielding home ``stop_at``."""
+
+    def __init__(self, inner, stop_at):
+        self.inner = inner
+        self.stop_at = stop_at
+        self.runner = None
+        self.name = inner.name
+        self.seed = inner.seed
+        self.n_homes = inner.n_homes
+        self.digest = inner.digest
+
+    def iter_homes(self):
+        for idx, home in enumerate(self.inner.iter_homes()):
+            if idx == self.stop_at and self.runner is not None:
+                self.runner._stop_requested = True
+            yield home
+
+
+class TestInterrupt:
+    def test_stop_signal_semantics(self, fleet):
+        runner = FleetRunner(fleet.spec, jobs=1)
+        runner._handle_stop(signal.SIGTERM, None)
+        assert runner._stop_requested
+        with pytest.raises(KeyboardInterrupt):  # second signal: now
+            runner._handle_stop(signal.SIGTERM, None)
+
+    def test_interrupt_checkpoints_then_resume_matches(self, tmp_path, fleet):
+        state_dir = str(tmp_path / "state")
+        stream = _StopDuringStream(fleet.stream, stop_at=2)
+        runner = FleetRunner(
+            stream, jobs=1, state_dir=state_dir, snapshot_every=2
+        )
+        stream.runner = runner
+        with pytest.raises(FleetInterrupted) as excinfo:
+            runner.run()
+        partial = excinfo.value.report
+        assert partial.coverage["partial"] is True
+        assert partial.coverage["completed"] == 2
+        assert partial.coverage["planned"] == N_HOMES
+        assert not partial.ok
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+
+class TestKillResume:
+    """Hard-kill determinism: the process dies mid-run, resume heals."""
+
+    @pytest.mark.parametrize("kill_after,jobs", [(1, 1), (3, 1), (2, 2)])
+    def test_sigkill_then_resume_byte_identical(
+        self, tmp_path, fleet, kill_after, jobs
+    ):
+        state_dir = str(tmp_path / "state")
+        code = (
+            "from repro.fleet import FleetRunner, generate_fleet\n"
+            f"spec = generate_fleet({N_HOMES}, seed={SEED}, **{SPEC_KWARGS!r})\n"
+            f"FleetRunner(spec, jobs={jobs}, state_dir={state_dir!r}, "
+            "snapshot_every=2).run()\n"
+        )
+        env = dict(os.environ, **{KILL_AFTER_ENV: str(kill_after)})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        # Own session + group kill afterwards: a SIGKILLed pool parent
+        # cannot clean up its forked workers (that is the point of the
+        # test), so the test reaps the whole group like the kernel
+        # reaps a powered-off box.
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            preexec_fn=os.setsid,
+        )
+        try:
+            returncode = proc.wait(timeout=300)
+        finally:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        assert returncode == -signal.SIGKILL
+        assert os.listdir(state_dir)  # the dead run left a checkpoint
+        report = _resume(fleet, state_dir)
+        assert report.to_json() == fleet.baseline
+
+
+class TestRetryAndQuarantine:
+    def _flaky_spec(self):
+        base = _spec(n=2, seed=SEED + 5)
+        homes = list(base.homes)
+        flaky = homes[1].to_dict()
+        flaky["poison"] = "flaky"
+        homes[1] = type(homes[1]).from_dict(flaky)
+        return type(base)(name=base.name, seed=base.seed, homes=tuple(homes))
+
+    @pytest.fixture()
+    def flaky_env(self, tmp_path, monkeypatch):
+        marker_dir = tmp_path / "flaky"
+        marker_dir.mkdir()
+        monkeypatch.setenv("FIAT_FLAKY_DIR", str(marker_dir))
+        return marker_dir
+
+    def test_retry_with_backoff_succeeds_serial(self, flaky_env):
+        report = FleetRunner(
+            self._flaky_spec(),
+            jobs=1,
+            retries=1,
+            backoff_base_s=0.001,
+            backoff_max_s=0.002,
+        ).run()
+        assert report.ok
+        assert report.homes[1]["attempts"] == 2
+        assert report.quarantined == []
+
+    def test_retry_with_backoff_succeeds_process(self, flaky_env):
+        report = FleetRunner(
+            self._flaky_spec(),
+            jobs=2,
+            backend="process",
+            retries=1,
+            backoff_base_s=0.001,
+            backoff_max_s=0.002,
+        ).run()
+        assert report.ok
+        assert report.homes[1]["attempts"] == 2
+
+    def test_quarantine_then_retry_quarantined_heals(self, tmp_path, flaky_env):
+        spec = self._flaky_spec()
+        state_dir = str(tmp_path / "state")
+        first = FleetRunner(spec, jobs=1, state_dir=state_dir).run()
+        assert first.n_failed == 1
+        assert first.quarantined == [spec.homes[1].home_id]
+        assert first.coverage["quarantined"] == 1
+        # the marker now exists, so the re-attempt succeeds; healthy
+        # home 0 must not re-run (its result comes from the checkpoint)
+        second = FleetRunner(
+            spec,
+            jobs=1,
+            state_dir=state_dir,
+            resume=True,
+            retry_quarantined=True,
+        ).run()
+        assert second.ok
+        assert second.quarantined == []
+        assert second.n_ok == 2 and second.n_failed == 0
+
+    def test_retry_quarantined_requires_state_dir(self, fleet):
+        with pytest.raises(ValueError, match="state_dir"):
+            FleetRunner(fleet.spec, retry_quarantined=True)
+        with pytest.raises(ValueError, match="state_dir"):
+            FleetRunner(fleet.spec, resume=True)
+
+    def test_backoff_is_seeded_and_bounded(self, fleet, monkeypatch):
+        delays = []
+        monkeypatch.setattr(
+            "repro.fleet.runner.time.sleep", lambda s: delays.append(s)
+        )
+        runner = FleetRunner(
+            fleet.spec, jobs=1, retries=3, backoff_base_s=0.1, backoff_max_s=0.3
+        )
+        for attempt in (1, 2, 3):
+            runner._backoff_sleep("home-x", attempt)
+        replay = []
+        monkeypatch.setattr(
+            "repro.fleet.runner.time.sleep", lambda s: replay.append(s)
+        )
+        for attempt in (1, 2, 3):
+            runner._backoff_sleep("home-x", attempt)
+        assert delays == replay  # same seed, same jitter
+        # exponential (0.1, 0.2, then capped 0.3) times jitter in [0.5, 1.5)
+        assert 0.05 <= delays[0] < 0.15
+        assert 0.10 <= delays[1] < 0.30
+        assert 0.15 <= delays[2] < 0.45
+
+
+class TestReservoir:
+    def test_exact_below_cap(self):
+        reservoir = SampleReservoir(0, "f", cap=8)
+        values = [0.9, 0.1, 0.5, 0.3, 0.7]
+        for v in values:
+            reservoir.add(v)
+        assert reservoir.exact
+        stats = reservoir.stats()
+        assert stats["p50"] == percentile(values, 0.5)
+        assert stats["mean"] == pytest.approx(sum(values) / len(values))
+        assert stats["n"] == 5.0
+
+    def test_bounded_beyond_cap_mean_stays_exact(self):
+        reservoir = SampleReservoir(0, "f", cap=8)
+        values = [float(i) for i in range(100)]
+        for v in values:
+            reservoir.add(v)
+        assert not reservoir.exact
+        assert len(reservoir.values) == 8
+        assert reservoir.n_seen == 100
+        assert reservoir.stats()["mean"] == pytest.approx(sum(values) / 100)
+
+    def test_checkpoint_round_trip_reproduces_uninterrupted(self):
+        values = [float(i) * 0.37 for i in range(200)]
+        straight = SampleReservoir(7, "field", cap=16)
+        for v in values:
+            straight.add(v)
+        # checkpoint at value 120, restore into a fresh reservoir
+        first = SampleReservoir(7, "field", cap=16)
+        for v in values[:120]:
+            first.add(v)
+        state = json.loads(json.dumps(first.to_state()))
+        resumed = SampleReservoir(7, "field", cap=16)
+        resumed.restore(state)
+        for v in values[120:]:
+            resumed.add(v)
+        assert resumed.values == straight.values
+        assert resumed.n_seen == straight.n_seen
+        assert resumed.total == straight.total
+
+    def test_replacement_is_stateless_in_key_and_index(self):
+        a = SampleReservoir(7, "ka", cap=4)
+        b = SampleReservoir(7, "kb", cap=4)
+        for v in range(50):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.values != b.values  # distinct fields, distinct subsamples

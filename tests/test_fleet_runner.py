@@ -132,6 +132,29 @@ class TestFailureSemantics:
         assert all("no result within" in h["error"] for h in report.homes)
 
 
+class TestTimeoutLeak:
+    def test_two_timeouts_do_not_wedge_the_pool(self):
+        """Regression: a running future cannot be cancelled, so before the
+        pool-rebuild fix two hung workers permanently occupied both slots
+        of a ``jobs=2`` pool and every later home timed out behind them.
+        """
+        base = _spec(4, seed=2, n_training_events=60)
+        homes = list(base.homes)
+        for i in (0, 1):
+            poisoned = homes[i].to_dict()
+            poisoned["poison"] = "hang"
+            homes[i] = HomeSpec.from_dict(poisoned)
+        spec = FleetSpec(name=base.name, seed=base.seed, homes=tuple(homes))
+        report = FleetRunner(
+            spec, jobs=2, backend="process", timeout_s=6.0
+        ).run()
+        assert report.n_failed == 2
+        assert report.failed_homes == ["home-0000", "home-0001"]
+        assert all("no result within" in h["error"] for h in report.homes[:2])
+        # the homes queued behind the hung ones still completed
+        assert [h["status"] for h in report.homes[2:]] == ["ok", "ok"]
+
+
 class TestRunnerValidation:
     def test_rejects_bad_backend(self):
         with pytest.raises(ValueError, match="backend"):
@@ -144,6 +167,30 @@ class TestRunnerValidation:
     def test_auto_backend_resolution(self):
         assert FleetRunner(_spec(1), jobs=1).backend == "serial"
         assert FleetRunner(_spec(1), jobs=2).backend == "process"
+
+    def test_serial_rejects_timeout(self):
+        # the serial backend cannot preempt a running home; it must
+        # refuse a timeout rather than silently ignore it
+        with pytest.raises(ValueError, match="serial backend cannot enforce"):
+            FleetRunner(_spec(1), backend="serial", timeout_s=5.0)
+
+    def test_auto_with_timeout_resolves_to_process(self):
+        assert FleetRunner(_spec(1), jobs=1, timeout_s=5.0).backend == "process"
+
+    def test_backends_agree_on_timeout_semantics(self):
+        # process accepts a timeout, serial rejects it — never a
+        # silently different behaviour for the same arguments
+        assert FleetRunner(
+            _spec(1), backend="process", timeout_s=5.0
+        ).timeout_s == 5.0
+        with pytest.raises(ValueError):
+            FleetRunner(_spec(1), backend="serial", timeout_s=5.0)
+
+    def test_rejects_bad_retries_and_snapshot_every(self):
+        with pytest.raises(ValueError, match="retries"):
+            FleetRunner(_spec(1), retries=-1)
+        with pytest.raises(ValueError, match="snapshot_every"):
+            FleetRunner(_spec(1), snapshot_every=0)
 
 
 class TestAggregate:

@@ -4,7 +4,17 @@ import json
 
 import pytest
 
-from repro.fleet import FleetSpec, HomeSpec, generate_fleet, home_seed
+from repro.fleet import (
+    FleetSpec,
+    HomeSpec,
+    JsonlSpecStream,
+    MemorySpecStream,
+    generate_fleet,
+    home_seed,
+    iter_generate_fleet,
+    open_spec,
+    write_spec_jsonl,
+)
 from repro.util import spawn_seed
 
 
@@ -101,3 +111,82 @@ class TestGenerateFleet:
     def test_rejects_empty_fleet(self):
         with pytest.raises(ValueError):
             generate_fleet(0)
+
+
+class TestSpecStreams:
+    def test_memory_stream_header_and_digest(self):
+        spec = generate_fleet(3, seed=2)
+        stream = spec.stream()
+        assert (stream.name, stream.seed, stream.n_homes) == (spec.name, spec.seed, 3)
+        assert stream.digest == spec.stream().digest
+        assert stream.digest != generate_fleet(3, seed=3).stream().digest
+
+    def test_memory_stream_is_reiterable(self):
+        stream = generate_fleet(3, seed=2).stream()
+        first = list(stream.iter_homes())
+        second = list(stream.iter_homes())
+        assert first == second and len(first) == 3
+
+    def test_jsonl_round_trip(self, tmp_path):
+        spec = generate_fleet(5, seed=9, fault_fraction=0.5)
+        path = str(tmp_path / "fleet.jsonl")
+        written = write_spec_jsonl(
+            path, iter(spec.homes), name=spec.name, seed=spec.seed, n_homes=5
+        )
+        assert written == 5
+        stream = JsonlSpecStream(path)
+        assert (stream.name, stream.seed, stream.n_homes) == (spec.name, spec.seed, 5)
+        assert tuple(stream.iter_homes()) == spec.homes
+        # re-iterable: a resumed run walks the stream again from home 0
+        assert tuple(stream.iter_homes()) == spec.homes
+
+    def test_jsonl_digest_tracks_content(self, tmp_path):
+        spec = generate_fleet(3, seed=1)
+        a_path, b_path = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        write_spec_jsonl(a_path, iter(spec.homes), seed=1)
+        write_spec_jsonl(b_path, iter(spec.homes[:2]), seed=1)
+        assert JsonlSpecStream(a_path).digest == JsonlSpecStream(a_path).digest
+        assert JsonlSpecStream(a_path).digest != JsonlSpecStream(b_path).digest
+
+    def test_jsonl_missing_seed_filled_with_derived(self, tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"fleet": {"name": "f", "seed": 4}}) + "\n")
+            handle.write(
+                json.dumps({"home_id": "home-x", "devices": ["SP10"]}) + "\n"
+            )
+        stream = JsonlSpecStream(path)
+        (home,) = tuple(stream.iter_homes())
+        assert home.seed == home_seed(4, "home-x")
+        assert stream.n_homes == 1  # counted, not declared
+
+    def test_jsonl_rejects_missing_header(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"home_id": "h", "devices": ["SP10"]}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            JsonlSpecStream(path)
+
+    def test_write_rejects_wrong_declared_count(self, tmp_path):
+        spec = generate_fleet(3, seed=1)
+        path = str(tmp_path / "fleet.jsonl")
+        with pytest.raises(ValueError, match="declared n_homes"):
+            write_spec_jsonl(path, iter(spec.homes), n_homes=4)
+        assert not any(tmp_path.iterdir())  # no partial file left behind
+
+    def test_open_spec_dispatches_on_extension(self, tmp_path):
+        spec = generate_fleet(2, seed=3)
+        json_path = str(tmp_path / "fleet.json")
+        jsonl_path = str(tmp_path / "fleet.jsonl")
+        spec.dump(json_path)
+        write_spec_jsonl(
+            jsonl_path, iter(spec.homes), name=spec.name, seed=spec.seed
+        )
+        assert isinstance(open_spec(json_path), MemorySpecStream)
+        assert isinstance(open_spec(jsonl_path), JsonlSpecStream)
+        assert tuple(open_spec(jsonl_path).iter_homes()) == spec.homes
+
+    def test_iter_generate_matches_materialised(self):
+        spec = generate_fleet(6, seed=7, fault_fraction=0.3)
+        streamed = tuple(iter_generate_fleet(6, seed=7, fault_fraction=0.3))
+        assert streamed == spec.homes
