@@ -26,10 +26,19 @@ Subcommands
 ``fleet``
     Run a sharded multi-home fleet simulation (serial or process-pool
     backend) and write the deterministic population report; the report
-    bytes are identical for any ``--jobs`` value.
+    bytes are identical for any ``--jobs`` value.  ``--watch`` renders
+    a live telemetry dashboard to stderr while the run executes.
+``fleet-top``
+    Tail the telemetry channel of a (running, finished, or killed)
+    fleet state dir: progress, rate, ETA, per-phase latency digests,
+    slowest-shard attribution.
 ``obs-report``
-    Render the observability dashboard from a metrics snapshot, or
-    follow one trace ID through an audit stream.
+    Render the observability dashboard from a metrics snapshot — or
+    from a fleet checkpoint state dir (latest compacted aggregate) —
+    or follow one trace ID through an audit stream.
+``bench-report``
+    Render the committed perf trajectory (``benchmarks/baselines/
+    history.jsonl``) as a trend table; ``--check`` gates on regression.
 ``export-profile``
     Learn allow rules from a capture's bootstrap window and export a
     MUD-style profile for one device.
@@ -43,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -269,6 +279,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                 spec.dump(args.spec_out)
             print(f"fleet spec ({len(spec)} homes) written to {args.spec_out}")
         source = spec.stream()
+    if args.watch and not args.state_dir:
+        print(
+            "fleet: --watch requires --state-dir (telemetry frames live there)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         runner = FleetRunner(
             source,
@@ -282,10 +298,34 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             retries=args.retries,
             backoff_base_s=args.backoff,
             snapshot_every=args.snapshot_every,
+            telemetry=args.telemetry,
+            profile_slowest=args.profile_slowest,
         )
     except ValueError as error:
         print(f"fleet: {error}", file=sys.stderr)
         return 2
+
+    watch_stop = None
+    if args.watch:
+        import threading
+
+        from .fleet import FleetMonitor
+
+        monitor = FleetMonitor(args.state_dir)
+        watch_stop = threading.Event()
+
+        def _watch() -> None:
+            while not watch_stop.wait(args.watch_interval):
+                print(monitor.render(), file=sys.stderr)
+
+        threading.Thread(target=_watch, name="fleet-watch", daemon=True).start()
+
+    def _end_watch() -> None:
+        if watch_stop is not None:
+            watch_stop.set()
+            # One last render so the final (done/interrupted) frame is
+            # always shown, however short the run was.
+            print(FleetMonitor(args.state_dir).render(), file=sys.stderr)
 
     def _emit(report) -> None:
         if args.out:
@@ -298,9 +338,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     try:
         report = runner.run()
     except CheckpointMismatch as error:
+        _end_watch()
         print(f"fleet: {error}", file=sys.stderr)
         return 2
     except FleetInterrupted as stop:
+        _end_watch()
         # Graceful degradation: the partial report (explicit coverage
         # counts) is still emitted; the run is resumable.
         _emit(stop.report)
@@ -316,6 +358,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    _end_watch()
     _emit(report)
     if not report.ok:
         print(
@@ -327,6 +370,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
+    import os
+
     from .obs import load_snapshot, read_audit, render_report, render_trace
 
     audit = read_audit(args.audit) if args.audit else None
@@ -339,8 +384,56 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     if not args.snapshot:
         print("a metrics snapshot path is required (or use --trace-id)", file=sys.stderr)
         return 1
+    if os.path.isdir(args.snapshot):
+        # A fleet checkpoint state dir: render the latest compacted
+        # aggregate (works mid-run and after a kill — read-only).
+        from .fleet import load_latest_aggregate
+
+        try:
+            agg = load_latest_aggregate(args.snapshot)
+        except FileNotFoundError as error:
+            print(f"obs-report: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"fleet state dir {args.snapshot}: {agg.completed} homes folded "
+            f"({agg.n_ok} ok, {agg.n_failed} failed, "
+            f"{len(agg.quarantined)} quarantined)"
+        )
+        print(render_report(agg.merged, audit=audit, top=args.top))
+        return 0
     snapshot = load_snapshot(args.snapshot)
     print(render_report(snapshot, audit=audit, top=args.top))
+    return 0
+
+
+def cmd_fleet_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .fleet import FleetMonitor
+
+    monitor = FleetMonitor(args.state_dir, stale_after_s=args.stale_after)
+    while True:
+        snapshot = monitor.poll()
+        print(monitor.render(snapshot))
+        if not args.follow or snapshot.status in ("done", "interrupted"):
+            return 0
+        _time.sleep(args.interval)
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    from .obs.trajectory import (
+        DEFAULT_HISTORY_PATH,
+        check_regression,
+        load_history,
+        render_trend,
+    )
+
+    entries = load_history(args.history or DEFAULT_HISTORY_PATH)
+    print(render_trend(entries, last=args.last))
+    if args.check:
+        check = check_regression(entries)
+        print(check.describe())
+        return 0 if check.ok else 1
     return 0
 
 
@@ -578,14 +671,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit nonzero when any home fails (default: fail the home, not the fleet)",
     )
+    fleet.add_argument(
+        "--watch", action="store_true",
+        help="render a live telemetry dashboard to stderr while the run "
+        "executes (requires --state-dir)",
+    )
+    fleet.add_argument(
+        "--watch-interval", dest="watch_interval", type=float, default=2.0,
+        help="seconds between --watch refreshes (default: 2)",
+    )
+    fleet.add_argument(
+        "--no-telemetry", dest="telemetry", action="store_false",
+        help="skip writing telemetry frames under --state-dir (the "
+        "report is byte-identical either way)",
+    )
+    fleet.add_argument(
+        "--profile-slowest", dest="profile_slowest", action="store_true",
+        help="after a clean run, re-run the slowest home under cProfile and "
+        "write profile-<home>.prof/.txt into --state-dir",
+    )
     fleet.set_defaults(func=cmd_fleet)
+
+    fleet_top = sub.add_parser(
+        "fleet-top", help="live dashboard for a fleet state dir's telemetry"
+    )
+    fleet_top.add_argument(
+        "--state-dir", dest="state_dir", required=True,
+        help="the fleet run's --state-dir (telemetry frames live under it)",
+    )
+    fleet_top.add_argument(
+        "--follow", action="store_true",
+        help="keep refreshing until the run reports done/interrupted "
+        "(default: render once and exit)",
+    )
+    fleet_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --follow refreshes (default: 2)",
+    )
+    fleet_top.add_argument(
+        "--stale-after", dest="stale_after", type=float, default=30.0,
+        help="seconds without frames before a running fleet is reported "
+        "stale (default: 30)",
+    )
+    fleet_top.set_defaults(func=cmd_fleet_top)
 
     obs_report = sub.add_parser(
         "obs-report", help="render the observability dashboard / follow a trace"
     )
     obs_report.add_argument(
         "snapshot", nargs="?",
-        help="metrics snapshot JSON (from evaluate --metrics-out)",
+        help="metrics snapshot JSON (from evaluate --metrics-out) or a "
+        "fleet --state-dir (renders the latest compacted aggregate)",
     )
     obs_report.add_argument("--audit", help="JSONL audit stream to summarise/query")
     obs_report.add_argument(
@@ -596,6 +732,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=12, help="rows per dashboard section"
     )
     obs_report.set_defaults(func=cmd_obs_report)
+
+    bench_report = sub.add_parser(
+        "bench-report", help="render the committed perf trajectory trend"
+    )
+    bench_report.add_argument(
+        "--history", default=None,
+        help="trajectory history JSONL (default: benchmarks/baselines/history.jsonl)",
+    )
+    bench_report.add_argument(
+        "--last", type=int, default=12, help="sparkline window (default: 12 runs)"
+    )
+    bench_report.add_argument(
+        "--check", action="store_true",
+        help="also run the regression gate; exit 1 on any tracked metric "
+        "outside its tolerance",
+    )
+    bench_report.set_defaults(func=cmd_bench_report)
 
     train = sub.add_parser("train", help="train + save a device's event classifier")
     train.add_argument("--device", required=True)
@@ -628,7 +781,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except BrokenPipeError:
+        # `fiat-repro fleet-top | head` and friends: the consumer
+        # closed the pipe, which is not an error.  Detach stdout so the
+        # interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,10 @@ reattemptable via ``retry_quarantined=True``.
 
 Layering: ``spec`` (data, streaming) → ``worker`` (one home) →
 ``runner`` (orchestration, failure policy) → ``checkpoint``
-(durability) → ``aggregate`` (incremental population report).
+(durability) → ``aggregate`` (incremental population report) →
+``telemetry`` (out-of-band progress frames + the live
+:class:`FleetMonitor` dashboard behind ``fiat-repro fleet --watch`` /
+``fleet-top``).
 Per-home seeds are hash-derived via :func:`repro.util.spawn_seed`,
 never ``seed + i`` offsets, so no two homes — and no two components
 within a home — share an RNG stream.  The aggregate report is
@@ -31,8 +34,14 @@ by contract (CI diffs the bytes).
 """
 
 from .aggregate import FleetAggregator, FleetReport, SampleReservoir, aggregate, percentile
-from .checkpoint import CheckpointMismatch, FleetCheckpoint, ResumeState
+from .checkpoint import (
+    CheckpointMismatch,
+    FleetCheckpoint,
+    ResumeState,
+    load_latest_aggregate,
+)
 from .runner import BACKENDS, FleetInterrupted, FleetRunner
+from .telemetry import FleetMonitor, MonitorSnapshot, TelemetryWriter, telemetry_dir_for
 from .spec import (
     FleetSpec,
     HomeSpec,
@@ -53,10 +62,13 @@ __all__ = [
     "FleetAggregator",
     "FleetCheckpoint",
     "FleetInterrupted",
+    "FleetMonitor",
     "FleetReport",
     "FleetRunner",
     "FleetSpec",
     "HomeResult",
+    "MonitorSnapshot",
+    "TelemetryWriter",
     "HomeSpec",
     "JsonlSpecStream",
     "MemorySpecStream",
@@ -67,8 +79,10 @@ __all__ = [
     "generate_fleet",
     "home_seed",
     "iter_generate_fleet",
+    "load_latest_aggregate",
     "open_spec",
     "percentile",
     "run_home",
+    "telemetry_dir_for",
     "write_spec_jsonl",
 ]

@@ -20,8 +20,13 @@ the running state O(1) in fleet size:
   kept — failure detail must never be truncated away); the report's
   ``coverage`` block states how many rows were dropped, so truncation
   is never silent;
-* fleet metrics fold through ``MetricsSnapshot.merge`` one shard at a
-  time.
+* fleet metrics merge through a :class:`~repro.obs.mergetree.SnapshotMergeTree`
+  — a binomial forest of exact (rational-sum) partial accumulators,
+  ``O(log n)`` of them, replacing the old linear
+  ``MetricsSnapshot.merge`` left fold; sums are correctly rounded once
+  at render time instead of once per shard, and the merge is
+  associative, which is what the shard → group → fleet hierarchy (and
+  multi-machine merge-final) requires.
 
 Determinism contract: results fold strictly in spec order, so the
 report is a pure function of the ``(spec, per-home results)`` sequence
@@ -38,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import MetricsSnapshot
+from ..obs.mergetree import SnapshotMergeTree
 from ..util import spawn_seed
 from .spec import FleetSpec
 from .worker import HomeResult
@@ -172,7 +178,7 @@ class FleetAggregator:
     replay of a retried home is naturally idempotent.
     """
 
-    STATE_FORMAT = 1
+    STATE_FORMAT = 2
 
     def __init__(
         self,
@@ -198,7 +204,7 @@ class FleetAggregator:
         }
         self.class_counts: Dict[str, Dict[str, int]] = {}
         self.alerts: Dict[str, int] = {}
-        self.merged = MetricsSnapshot()
+        self.merge_tree = SnapshotMergeTree()
 
     @property
     def completed(self) -> int:
@@ -238,7 +244,12 @@ class FleetAggregator:
             target["blocked"] += int(tally["blocked"])
         for kind, count in result.alerts.items():
             self.alerts[kind] = self.alerts.get(kind, 0) + int(count)
-        self.merged = self.merged.merge(result.snapshot())
+        self.merge_tree.add(result.snapshot())
+
+    @property
+    def merged(self) -> MetricsSnapshot:
+        """The merged fleet metrics of every ok shard folded so far."""
+        return self.merge_tree.result()
 
     # -- checkpoint round trip ---------------------------------------------------
 
@@ -257,11 +268,10 @@ class FleetAggregator:
             "samples": {name: r.to_state() for name, r in self.samples.items()},
             "class_counts": self.class_counts,
             "alerts": self.alerts,
-            "metrics": {
-                "counters": self.merged.counters,
-                "gauges": self.merged.gauges,
-                "histograms": self.merged.histograms,
-            },
+            # The exact forest, not a rounded snapshot: resuming from a
+            # checkpoint must reproduce the uninterrupted merge bit for
+            # bit, including the deferred single rounding step.
+            "merge_tree": self.merge_tree.to_state(),
         }
 
     @classmethod
@@ -274,7 +284,8 @@ class FleetAggregator:
         reservoir_cap: int = RESERVOIR_CAP,
     ) -> "FleetAggregator":
         """Inverse of :meth:`to_state`."""
-        if int(state.get("format", -1)) != cls.STATE_FORMAT:
+        state_format = int(state.get("format", -1))
+        if state_format not in (1, cls.STATE_FORMAT):
             raise ValueError(
                 f"unsupported aggregator state format {state.get('format')!r}"
             )
@@ -296,12 +307,19 @@ class FleetAggregator:
             for cls_name, tally in state.get("class_counts", {}).items()
         }
         agg.alerts = {k: int(v) for k, v in state.get("alerts", {}).items()}
-        metrics = state.get("metrics", {})
-        agg.merged = MetricsSnapshot(
-            counters=dict(metrics.get("counters", {})),
-            gauges=dict(metrics.get("gauges", {})),
-            histograms=dict(metrics.get("histograms", {})),
-        )
+        if state_format == 1:
+            # Pre-tree checkpoint: lift the already-rounded snapshot as a
+            # single range so an old state dir stays resumable.
+            metrics = state.get("metrics", {})
+            snapshot = MetricsSnapshot(
+                counters=dict(metrics.get("counters", {})),
+                gauges=dict(metrics.get("gauges", {})),
+                histograms=dict(metrics.get("histograms", {})),
+            )
+            if any((snapshot.counters, snapshot.gauges, snapshot.histograms)):
+                agg.merge_tree.add(snapshot)
+        else:
+            agg.merge_tree = SnapshotMergeTree.from_state(state["merge_tree"])
         return agg
 
     # -- rendering ---------------------------------------------------------------
@@ -321,6 +339,7 @@ class FleetAggregator:
             for idx in sorted({*self.ok_rows, *self.failed_rows})
         ]
         quarantined = [home_id for _, home_id in self.quarantined]
+        merged = self.merge_tree.result()
         return FleetReport(
             name=self.name,
             seed=self.seed,
@@ -332,9 +351,9 @@ class FleetAggregator:
             class_counts={k: dict(v) for k, v in self.class_counts.items()},
             alerts=dict(self.alerts),
             metrics={
-                "counters": self.merged.counters,
-                "gauges": self.merged.gauges,
-                "histograms": self.merged.histograms,
+                "counters": merged.counters,
+                "gauges": merged.gauges,
+                "histograms": merged.histograms,
             },
             quarantined=quarantined,
             coverage={

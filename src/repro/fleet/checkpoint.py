@@ -47,6 +47,7 @@ __all__ = [
     "CheckpointMismatch",
     "FleetCheckpoint",
     "ResumeState",
+    "load_latest_aggregate",
     "result_digest",
 ]
 
@@ -105,6 +106,72 @@ def _list_epochs(state_dir: str, prefix: str, suffix: str) -> Tuple[int, ...]:
             if stem.isdigit():
                 epochs.append(int(stem))
     return tuple(sorted(epochs))
+
+
+def load_latest_aggregate(state_dir: str):
+    """Read-only view of a fleet state dir's latest aggregate.
+
+    Reconstructs the same prefix a resume would (newest readable
+    snapshot plus the journal records after it) without requiring the
+    spec, without truncating torn tails, and without taking the writer
+    over — safe to call against a *running* fleet.  Used by
+    ``fiat-repro obs-report <state-dir>`` to render the merged metrics
+    of a checkpointed (possibly in-flight, possibly killed) run.
+
+    Returns the reconstructed
+    :class:`~repro.fleet.aggregate.FleetAggregator`.  Raises
+    ``FileNotFoundError`` when the directory holds no checkpoint files.
+    """
+    from .aggregate import FleetAggregator
+    from .worker import HomeResult
+
+    snapshot_epochs = _list_epochs(state_dir, "fleet-snapshot-", ".json")
+    journal_epochs = _list_epochs(state_dir, "fleet-homes-", ".journal")
+    if not snapshot_epochs and not journal_epochs:
+        raise FileNotFoundError(f"{state_dir}: no fleet checkpoint files")
+
+    header: Optional[Dict[str, object]] = None
+    agg_state: Optional[Dict[str, object]] = None
+    snapshot_agg_epoch = -1
+    snapshot_epoch = 0
+    for epoch in reversed(snapshot_epochs):
+        document = read_snapshot(_snapshot_path(state_dir, epoch))
+        if document is None:  # corrupt: fall back, exactly like resume
+            continue
+        raw_header = document.get("header")
+        header = raw_header if isinstance(raw_header, dict) else None
+        agg_state = document["agg"]
+        snapshot_agg_epoch = int(agg_state.get("epoch", 0))
+        snapshot_epoch = epoch
+        break
+
+    records: List[Dict[str, object]] = []
+    for epoch in journal_epochs:
+        if epoch < snapshot_epoch:
+            continue
+        for record in read_journal(_journal_path(state_dir, epoch)).records:
+            kind = record.get("kind")
+            if kind == "header" and header is None:
+                raw_header = record.get("header")
+                header = raw_header if isinstance(raw_header, dict) else None
+            if kind != "home":
+                continue
+            if int(record.get("agg_epoch", 0)) <= snapshot_agg_epoch:
+                continue  # already folded into the snapshot
+            if result_digest(record["result"]) != record.get("digest"):
+                break  # fail-closed past a digest mismatch, like resume
+            records.append(record)
+
+    header = header or {}
+    name = str(header.get("name", "fleet"))
+    seed = int(header.get("seed", 0))
+    if agg_state is not None:
+        agg = FleetAggregator.from_state(agg_state, name, seed)
+    else:
+        agg = FleetAggregator(name, seed)
+    for record in sorted(records, key=lambda r: int(r.get("agg_epoch", 0))):
+        agg.add(int(record["idx"]), HomeResult.from_dict(record["result"]))
+    return agg
 
 
 class FleetCheckpoint:

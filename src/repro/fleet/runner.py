@@ -68,7 +68,8 @@ from ..util import spawn_seed
 from .aggregate import FleetAggregator, FleetReport
 from .checkpoint import FleetCheckpoint
 from .spec import FleetSpec, HomeSpec, SpecStream
-from .worker import HomeResult, run_home, run_home_payload
+from .telemetry import TelemetryWriter, telemetry_dir_for
+from .worker import HomeResult, run_home, run_home_payload, run_home_traced
 
 __all__ = ["FleetRunner", "FleetInterrupted", "BACKENDS", "KILL_AFTER_ENV"]
 
@@ -122,6 +123,8 @@ class FleetRunner:
         backoff_max_s: float = 2.0,
         snapshot_every: int = 32,
         fsync: bool = False,
+        telemetry: bool = True,
+        profile_slowest: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -154,11 +157,22 @@ class FleetRunner:
         self.backoff_max_s = backoff_max_s
         self.snapshot_every = snapshot_every
         self.fsync = fsync
+        # Telemetry is out-of-band by contract (reports byte-identical
+        # with it on or off) and lives in the state dir — no state dir,
+        # no channel to tail, so it quietly stays off.
+        self.telemetry_dir = (
+            telemetry_dir_for(state_dir) if (state_dir and telemetry) else None
+        )
+        self.profile_slowest = profile_slowest
         self._stop_requested = False
         self._next_idx = 0
         self._seen = 0
         self._folded_this_run = 0
         self._kill_after = 0
+        self._telemetry: Optional[TelemetryWriter] = None
+        self._run_started = 0.0
+        self._retries_total = 0
+        self._slowest: Optional[Tuple[float, HomeSpec]] = None
 
     # -- public API --------------------------------------------------------------
 
@@ -177,6 +191,8 @@ class FleetRunner:
         self._next_idx = 0
         self._seen = 0
         self._folded_this_run = 0
+        self._retries_total = 0
+        self._slowest = None
         self._kill_after = int(os.environ.get(KILL_AFTER_ENV, "0") or 0)
 
         if self.state_dir:
@@ -208,13 +224,27 @@ class FleetRunner:
             else:
                 checkpoint.start_fresh()
 
+        if self.telemetry_dir:
+            self._telemetry = TelemetryWriter(self.telemetry_dir)
+            self._telemetry.emit(
+                "run-start",
+                fleet=self.source.name,
+                planned=self.source.n_homes,
+                jobs=self.jobs,
+                backend=self.backend,
+                resumed=agg.completed,
+            )
+        self._run_started = time.perf_counter()
+
         previous_handlers = self._install_stop_handlers()
+        finished = False
         try:
             work = self._work(self._next_idx, rerun)
             if self.backend == "serial":
                 self._run_serial(work, agg, checkpoint)
             else:
                 self._run_process(work, agg, checkpoint)
+            finished = True
         finally:
             self._restore_stop_handlers(previous_handlers)
             if checkpoint is not None:
@@ -222,12 +252,66 @@ class FleetRunner:
                 # a single home that was already collected.
                 checkpoint.compact(self._next_idx, agg.to_state())
                 checkpoint.close()
+            if self._telemetry is not None:
+                # The interrupt contract: a signal-stopped run still
+                # flushes a final frame, so --watch shows the partial
+                # coverage instead of appearing hung.  Only a hard kill
+                # leaves no final frame (and the monitor reports stale).
+                self._telemetry.emit(
+                    "final",
+                    status=(
+                        "interrupted"
+                        if self._stop_requested
+                        else ("done" if finished else "aborted")
+                    ),
+                    completed=agg.completed,
+                    planned=self.source.n_homes,
+                    elapsed_s=time.perf_counter() - self._run_started,
+                )
+                self._telemetry.close()
+                self._telemetry = None
 
         planned = self.source.n_homes if self.source.n_homes is not None else self._seen
         report = agg.report(n_planned=planned, partial=self._stop_requested)
         if self._stop_requested:
             raise FleetInterrupted(report)
+        if self.profile_slowest and self._slowest is not None:
+            self._profile_home(self._slowest[1])
         return report
+
+    def _profile_home(self, home: HomeSpec) -> None:
+        """Re-run the slowest ok home under cProfile (attribution data).
+
+        Runs after the report is finalised, in-process, with the exact
+        same spec — the rerun's result is discarded, so profiling can
+        never perturb the report bytes.  Writes ``profile-<home>.prof``
+        (loadable with ``pstats``/snakeviz) plus a text summary next to
+        the state dir's other artifacts.
+        """
+        import cProfile
+        import io as _io
+        import pstats
+
+        out_dir = self.state_dir or "."
+        base = os.path.join(out_dir, f"profile-{home.home_id}")
+        profiler = cProfile.Profile()
+        logger.info("profiling slowest home %s", home.home_id)
+        try:
+            profiler.enable()
+            try:
+                run_home(home, state_root=self.state_root)
+            finally:
+                profiler.disable()
+        except Exception as error:  # advisory artifact — never fail the run
+            logger.warning("profiling home %s failed: %s", home.home_id, error)
+            return
+        profiler.dump_stats(base + ".prof")
+        buffer = _io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer).sort_stats("cumulative")
+        stats.print_stats(25)
+        with open(base + ".txt", "w", encoding="utf-8") as handle:
+            handle.write(f"slowest home: {home.home_id}\n")
+            handle.write(buffer.getvalue())
 
     # -- stop signals ------------------------------------------------------------
 
@@ -294,6 +378,7 @@ class FleetRunner:
         checkpoint: Optional[FleetCheckpoint],
         idx: int,
         result: HomeResult,
+        home: Optional[HomeSpec] = None,
     ) -> None:
         agg.add(idx, result)
         self._next_idx = max(self._next_idx, idx + 1)
@@ -302,6 +387,25 @@ class FleetRunner:
             if agg.epoch % self.snapshot_every == 0:
                 checkpoint.compact(self._next_idx, agg.to_state())
         self._folded_this_run += 1
+        self._retries_total += max(0, result.attempts - 1)
+        total_s = float(result.timings.get("total", 0.0))
+        if home is not None and result.ok and total_s > 0.0:
+            if self._slowest is None or total_s > self._slowest[0]:
+                self._slowest = (total_s, home)
+        if self._telemetry is not None:
+            elapsed = time.perf_counter() - self._run_started
+            self._telemetry.emit(
+                "progress",
+                completed=agg.completed,
+                ok=agg.n_ok,
+                failed=agg.n_failed,
+                retries=self._retries_total,
+                quarantined=len(agg.quarantined),
+                elapsed_s=elapsed,
+                homes_per_sec=(
+                    self._folded_this_run / elapsed if elapsed > 0 else 0.0
+                ),
+            )
         if self._kill_after and self._folded_this_run >= self._kill_after:
             # Deterministic crash injection for resume smoke tests: die
             # the hard way, exactly like a powered-off operator box.
@@ -318,12 +422,16 @@ class FleetRunner:
         for idx, home in work:
             if self._stop_requested:
                 return
-            self._fold(agg, checkpoint, idx, self._run_one_serial(home))
+            self._fold(agg, checkpoint, idx, self._run_one_serial(home), home=home)
 
     def _run_one_serial(self, home: HomeSpec) -> HomeResult:
         for attempt in range(1, self.retries + 2):
             try:
-                result = run_home(home, state_root=self.state_root)
+                result = run_home_traced(
+                    home,
+                    state_root=self.state_root,
+                    telemetry_dir=self.telemetry_dir,
+                )
                 result.attempts = attempt
                 return result
             except Exception as error:  # fail the home, not the fleet
@@ -339,7 +447,11 @@ class FleetRunner:
     # -- process backend ---------------------------------------------------------
 
     def _payload(self, home: HomeSpec) -> Dict[str, object]:
-        return {"home": home.to_dict(), "state_root": self.state_root}
+        return {
+            "home": home.to_dict(),
+            "state_root": self.state_root,
+            "telemetry_dir": self.telemetry_dir,
+        }
 
     @staticmethod
     def _kill_pool(executor: ProcessPoolExecutor) -> None:
@@ -458,7 +570,7 @@ class FleetRunner:
                             run_home_payload, self._payload(pending_home)
                         )
 
-                self._fold(agg, checkpoint, idx, result)
+                self._fold(agg, checkpoint, idx, result, home=home)
                 if self._stop_requested:
                     return
             clean = True

@@ -1,0 +1,391 @@
+"""Fleet telemetry plane: live progress frames and the run monitor.
+
+A checkpointed fleet run can execute for hours; until this module the
+only signal it produced was the final report.  Telemetry makes the run
+observable *while it executes* without touching the determinism
+contract: every frame is out-of-band (wall-clock timestamps and
+latencies live here and only here — the fleet report stays
+byte-identical with telemetry on or off).
+
+Layout, under ``<state_dir>/telemetry/``:
+
+``run.jsonl``
+    The runner's channel: one ``run-start`` frame per (re)start, a
+    ``progress`` frame after every folded home, and a ``final`` frame
+    on clean completion *or* signal interrupt (so ``--watch`` shows the
+    partial-coverage state instead of appearing hung).  A ``SIGKILL``
+    leaves no final frame — the monitor reports the run as *stale*
+    once frames stop ageing, which is exactly the truth.
+``worker-<pid>.jsonl``
+    One file per worker process: ``home-start`` / ``home-end`` frames
+    with per-phase wall-clock timings.  Files are per-pid so appends
+    never interleave across processes.
+
+Every frame is CRC32-framed JSONL (:func:`repro.recovery.journal.frame_record`),
+the same discipline as the checkpoint journal: a reader never trusts a
+torn tail, and a half-written frame from a live writer is simply not
+visible yet.  :class:`FleetMonitor` tails the directory, reconstructs
+progress/rate/ETA/per-phase digests/slowest-shard attribution, and
+renders the ``fiat-repro fleet --watch`` / ``fleet-top`` dashboard.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..recovery.journal import frame_record, read_journal
+
+__all__ = [
+    "TELEMETRY_DIRNAME",
+    "RUN_CHANNEL",
+    "TelemetryWriter",
+    "emit_worker_frame",
+    "read_frames",
+    "load_frames",
+    "MonitorSnapshot",
+    "PhaseDigest",
+    "FleetMonitor",
+    "telemetry_dir_for",
+]
+
+#: Subdirectory of a fleet state dir holding the telemetry channels.
+TELEMETRY_DIRNAME = "telemetry"
+
+#: The runner's own channel file name.
+RUN_CHANNEL = "run.jsonl"
+
+#: A running fleet emits at least one frame per folded home; a channel
+#: this quiet for this long (and no ``final`` frame) means the process
+#: is gone or wedged.
+STALE_AFTER_S = 30.0
+
+#: Slowest homes surfaced by the dashboard.
+SLOWEST_ROWS = 5
+
+
+def telemetry_dir_for(state_dir: str) -> str:
+    """The telemetry directory of a fleet state dir."""
+    return os.path.join(state_dir, TELEMETRY_DIRNAME)
+
+
+class TelemetryWriter:
+    """Append CRC-framed telemetry frames to one channel file.
+
+    Holds the file handle open (the runner emits one frame per folded
+    home); every frame is flushed immediately so a tailing monitor in
+    another process sees it without waiting for a buffer to fill.
+    Telemetry is advisory — it is never fsynced and a lost tail costs
+    nothing but a momentarily stale dashboard.
+    """
+
+    def __init__(self, directory: str, channel: str = RUN_CHANNEL) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, channel)
+        self._handle = open(self.path, "ab")
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one frame (stamped with wall time and pid)."""
+        if self._handle is None:  # pragma: no cover - emit-after-close guard
+            return
+        record: Dict[str, object] = {"kind": kind, "t": time.time(), "pid": os.getpid()}
+        record.update(fields)
+        self._handle.write(frame_record(record))
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def emit_worker_frame(directory: str, kind: str, **fields: object) -> None:
+    """Append one frame to this process's worker channel.
+
+    Open-append-close per frame: a pool worker runs many homes over its
+    lifetime and must never hold a handle hostage across them (the
+    runner kills abandoned workers on timeout).  Each pid owns its file,
+    so frames never interleave.
+    """
+    os.makedirs(directory, exist_ok=True)
+    record: Dict[str, object] = {"kind": kind, "t": time.time(), "pid": os.getpid()}
+    record.update(fields)
+    path = os.path.join(directory, f"worker-{os.getpid()}.jsonl")
+    with open(path, "ab") as handle:
+        handle.write(frame_record(record))
+
+
+def read_frames(path: str) -> List[Dict[str, object]]:
+    """Every valid frame of one channel (torn tails tolerated).
+
+    A frame mid-write by a live producer fails its CRC or lacks its
+    newline and simply ends the readable prefix — the next poll sees it
+    complete.
+    """
+    return read_journal(path).records
+
+
+def load_frames(directory: str) -> List[Dict[str, object]]:
+    """All frames of every channel in a telemetry dir, oldest first.
+
+    Stable order: sorted by wall timestamp, ties broken by channel name
+    and in-file position so repeated polls of quiescent files agree.
+    """
+    stamped: List[Tuple[float, str, int, Dict[str, object]]] = []
+    if not os.path.isdir(directory):
+        return []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".jsonl"):
+            continue
+        for position, frame in enumerate(read_frames(os.path.join(directory, name))):
+            stamped.append((float(frame.get("t", 0.0)), name, position, frame))
+    stamped.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [frame for _, _, _, frame in stamped]
+
+
+@dataclass
+class PhaseDigest:
+    """Latency digest of one worker phase across completed homes."""
+
+    n: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.n += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+        self.samples.append(seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.n if self.n else 0.0
+
+    @property
+    def p95_s(self) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+@dataclass
+class MonitorSnapshot:
+    """Everything the dashboard needs, reconstructed from the frames."""
+
+    #: "idle" | "running" | "stale" | "interrupted" | "done"
+    status: str = "idle"
+    fleet: str = ""
+    backend: str = ""
+    jobs: int = 0
+    planned: Optional[int] = None
+    #: homes folded into the aggregate (includes resumed prefix)
+    completed: int = 0
+    ok: int = 0
+    failed: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    #: homes folded by prior (resumed-from) runs
+    resumed_from: int = 0
+    homes_per_sec: float = 0.0
+    elapsed_s: float = 0.0
+    eta_s: Optional[float] = None
+    #: seconds since the newest frame (None when there are no frames)
+    age_s: Optional[float] = None
+    n_frames: int = 0
+    n_runs: int = 0
+    phases: Dict[str, PhaseDigest] = field(default_factory=dict)
+    #: ``(home_id, total_s, dominant phase)`` — the attribution rows
+    slowest: List[Tuple[str, float, str]] = field(default_factory=list)
+    #: homes started but not yet finished: ``(home_id, pid, started_at)``
+    in_flight: List[Tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def fraction_done(self) -> Optional[float]:
+        if self.planned:
+            return self.completed / self.planned
+        return None
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class FleetMonitor:
+    """Tail a telemetry dir and reconstruct the live run state.
+
+    Read-only and out-of-process: point it at the ``state_dir`` of a
+    running (or finished, or killed) fleet and :meth:`poll` as often as
+    you like — every poll re-reads the channels from scratch, which at
+    one frame per home stays trivially cheap far beyond the fleet sizes
+    a single state dir holds.
+    """
+
+    def __init__(self, state_dir: str, stale_after_s: float = STALE_AFTER_S) -> None:
+        # Accept either the state dir or the telemetry dir itself.
+        if os.path.basename(state_dir.rstrip(os.sep)) == TELEMETRY_DIRNAME:
+            self.directory = state_dir
+        else:
+            self.directory = telemetry_dir_for(state_dir)
+        self.stale_after_s = stale_after_s
+
+    def poll(self, now: Optional[float] = None) -> MonitorSnapshot:
+        """Re-read every channel and fold the frames into a snapshot."""
+        frames = load_frames(self.directory)
+        snapshot = MonitorSnapshot(n_frames=len(frames))
+        if not frames:
+            return snapshot
+
+        open_homes: Dict[Tuple[int, str], float] = {}
+        finished: List[Tuple[str, float, str]] = []
+        newest_t = 0.0
+        for frame in frames:
+            kind = frame.get("kind")
+            stamp = float(frame.get("t", 0.0))
+            newest_t = max(newest_t, stamp)
+            if kind == "run-start":
+                snapshot.n_runs += 1
+                snapshot.status = "running"
+                snapshot.fleet = str(frame.get("fleet", snapshot.fleet))
+                snapshot.backend = str(frame.get("backend", snapshot.backend))
+                snapshot.jobs = int(frame.get("jobs", snapshot.jobs) or 0)
+                planned = frame.get("planned")
+                snapshot.planned = int(planned) if planned is not None else None
+                snapshot.resumed_from = int(frame.get("resumed", 0) or 0)
+                snapshot.completed = snapshot.resumed_from
+            elif kind == "progress":
+                snapshot.status = "running"
+                snapshot.completed = int(frame.get("completed", snapshot.completed))
+                snapshot.ok = int(frame.get("ok", snapshot.ok))
+                snapshot.failed = int(frame.get("failed", snapshot.failed))
+                snapshot.retries = int(frame.get("retries", snapshot.retries))
+                snapshot.quarantined = int(
+                    frame.get("quarantined", snapshot.quarantined)
+                )
+                snapshot.elapsed_s = float(frame.get("elapsed_s", snapshot.elapsed_s))
+                snapshot.homes_per_sec = float(
+                    frame.get("homes_per_sec", snapshot.homes_per_sec)
+                )
+            elif kind == "final":
+                snapshot.status = (
+                    "interrupted"
+                    if frame.get("status") == "interrupted"
+                    else "done"
+                )
+                snapshot.completed = int(frame.get("completed", snapshot.completed))
+                snapshot.elapsed_s = float(frame.get("elapsed_s", snapshot.elapsed_s))
+                open_homes.clear()
+            elif kind == "home-start":
+                key = (int(frame.get("pid", 0)), str(frame.get("home", "")))
+                open_homes[key] = stamp
+            elif kind == "home-end":
+                key = (int(frame.get("pid", 0)), str(frame.get("home", "")))
+                open_homes.pop(key, None)
+                phases = frame.get("phases")
+                if isinstance(phases, dict):
+                    summed = 0.0
+                    dominant, dominant_s = "", -1.0
+                    for phase, seconds in sorted(phases.items()):
+                        seconds = float(seconds)
+                        snapshot.phases.setdefault(str(phase), PhaseDigest()).add(
+                            seconds
+                        )
+                        if phase == "total":  # the sum, not a phase
+                            continue
+                        summed += seconds
+                        if seconds > dominant_s:
+                            dominant, dominant_s = str(phase), seconds
+                    total = float(phases.get("total", summed) or summed)
+                    finished.append((str(frame.get("home", "")), total, dominant))
+
+        snapshot.slowest = sorted(finished, key=lambda row: -row[1])[:SLOWEST_ROWS]
+        snapshot.in_flight = sorted(
+            ((home, pid, started) for (pid, home), started in open_homes.items()),
+            key=lambda row: row[2],
+        )
+        now = time.time() if now is None else now
+        snapshot.age_s = max(0.0, now - newest_t)
+        if snapshot.status == "running":
+            if snapshot.age_s > self.stale_after_s:
+                snapshot.status = "stale"
+            remaining = (
+                (snapshot.planned - snapshot.completed)
+                if snapshot.planned is not None
+                else None
+            )
+            if remaining is not None and snapshot.homes_per_sec > 0:
+                snapshot.eta_s = remaining / snapshot.homes_per_sec
+        return snapshot
+
+    def render(self, snapshot: Optional[MonitorSnapshot] = None) -> str:
+        """The text dashboard for one snapshot (polls when not given)."""
+        snap = self.poll() if snapshot is None else snapshot
+        if snap.status == "idle":
+            return (
+                f"=== FIAT fleet monitor — {self.directory} ===\n"
+                "  (no telemetry frames yet)\n"
+            )
+        planned = str(snap.planned) if snap.planned is not None else "?"
+        percent = (
+            f" ({snap.fraction_done * 100:.0f}%)"
+            if snap.fraction_done is not None
+            else ""
+        )
+        lines = [
+            f"=== FIAT fleet monitor — {self.directory} ===",
+            f"  fleet {snap.fleet!r}   status {snap.status.upper()}   "
+            f"backend {snap.backend} x{snap.jobs}   runs {snap.n_runs}",
+            f"  progress  {snap.completed}/{planned} homes{percent}   "
+            f"ok {snap.ok}  failed {snap.failed}  retries {snap.retries}  "
+            f"quarantined {snap.quarantined}",
+            f"  rate      {snap.homes_per_sec:.2f} homes/s   "
+            f"elapsed {_format_duration(snap.elapsed_s)}   "
+            f"ETA {_format_duration(snap.eta_s)}",
+        ]
+        if snap.resumed_from:
+            lines.append(
+                f"  resumed   {snap.resumed_from} homes carried over from "
+                "earlier run(s)"
+            )
+        if snap.in_flight:
+            rows = ", ".join(
+                f"{home or '?'} (pid {pid})" for home, pid, _ in snap.in_flight[:6]
+            )
+            lines.append(f"  in-flight {rows}")
+        if snap.phases:
+            lines.append(
+                f"  {'phase':12s} {'n':>6s} {'mean':>9s} {'p95':>9s} {'max':>9s}"
+            )
+            for phase, digest in sorted(snap.phases.items()):
+                lines.append(
+                    f"    {phase:10s} {digest.n:6d} "
+                    f"{digest.mean_s * 1000:8.1f}ms "
+                    f"{digest.p95_s * 1000:8.1f}ms "
+                    f"{digest.max_s * 1000:8.1f}ms"
+                )
+        if snap.slowest:
+            rows = ", ".join(
+                f"{home} {_format_duration(total)} ({phase})"
+                for home, total, phase in snap.slowest
+            )
+            lines.append(f"  slowest   {rows}")
+        age = f"{snap.age_s:.1f}s" if snap.age_s is not None else "?"
+        lines.append(f"  last frame {age} ago ({snap.n_frames} frames)")
+        return "\n".join(lines) + "\n"

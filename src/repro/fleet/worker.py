@@ -32,7 +32,13 @@ from ..testbed.cloud import Location
 from ..util import spawn_seed
 from .spec import HomeSpec
 
-__all__ = ["HomeResult", "run_home", "run_home_payload", "WALL_CLOCK_SUFFIX"]
+__all__ = [
+    "HomeResult",
+    "run_home",
+    "run_home_traced",
+    "run_home_payload",
+    "WALL_CLOCK_SUFFIX",
+]
 
 #: Histogram families with this suffix carry ``perf_counter`` readings
 #: (see :mod:`repro.obs.timing`) and are excluded from fleet results.
@@ -62,6 +68,10 @@ class HomeResult:
     metrics: Dict[str, object] = field(default_factory=dict)
     #: recovery epoch reached when the home journaled state (``recover``)
     recovery_epoch: Optional[int] = None
+    #: wall-clock per-phase seconds (``setup``/``simulate``/``condense``).
+    #: Telemetry-only: excluded from :meth:`to_dict` so checkpoint record
+    #: digests and fleet reports stay byte-identical run to run.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -77,8 +87,10 @@ class HomeResult:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe encoding."""
-        return asdict(self)
+        """JSON-safe encoding (deterministic: wall-clock timings dropped)."""
+        data = asdict(self)
+        del data["timings"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "HomeResult":
@@ -142,6 +154,7 @@ def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
                 pass
             raise RuntimeError(f"flaky home {spec.home_id} (first attempt)")
 
+    phase_started = time.perf_counter()
     obs = Observability(trace_seed=spec.seed % (2**32))
     system = FiatSystem(
         list(spec.devices),
@@ -153,6 +166,8 @@ def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
     recovery_epoch: Optional[int] = None
     if spec.recover and state_root:
         system.enable_recovery(os.path.join(state_root, spec.home_id))
+    timings = {"setup": time.perf_counter() - phase_started}
+    phase_started = time.perf_counter()
     try:
         accuracy = system.run_accuracy(
             n_manual=spec.n_manual,
@@ -166,6 +181,8 @@ def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
         if system.recovery is not None:
             recovery_epoch = system.recovery.epoch
             system.recovery.close()
+    timings["simulate"] = time.perf_counter() - phase_started
+    phase_started = time.perf_counter()
 
     class_counts: Dict[str, Dict[str, int]] = {}
     for decision in system.proxy.decisions:
@@ -178,7 +195,7 @@ def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
     for alert in system.proxy.alerts:
         alerts[alert.kind] = alerts.get(alert.kind, 0) + 1
 
-    return HomeResult(
+    result = HomeResult(
         home_id=spec.home_id,
         devices={name: asdict(row) for name, row in accuracy.items()},
         class_counts=class_counts,
@@ -188,6 +205,50 @@ def run_home(spec: HomeSpec, state_root: Optional[str] = None) -> HomeResult:
         metrics=_deterministic_snapshot(system.metrics_snapshot()),
         recovery_epoch=recovery_epoch,
     )
+    timings["condense"] = time.perf_counter() - phase_started
+    timings["total"] = sum(timings.values())
+    result.timings = timings
+    return result
+
+
+def run_home_traced(
+    spec: HomeSpec,
+    state_root: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+) -> HomeResult:
+    """:func:`run_home` bracketed by telemetry frames (when enabled).
+
+    Emits a ``home-start`` frame before and a ``home-end`` frame after
+    the run — including on failure, so the monitor never shows a crashed
+    home as eternally in flight.  With no ``telemetry_dir`` this *is*
+    :func:`run_home`: telemetry must stay strictly out-of-band.
+    """
+    if not telemetry_dir:
+        return run_home(spec, state_root=state_root)
+    from .telemetry import emit_worker_frame  # late: avoid cycle at import
+
+    emit_worker_frame(telemetry_dir, "home-start", home=spec.home_id)
+    started = time.perf_counter()
+    try:
+        result = run_home(spec, state_root=state_root)
+    except BaseException as error:
+        emit_worker_frame(
+            telemetry_dir,
+            "home-end",
+            home=spec.home_id,
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            phases={"total": time.perf_counter() - started},
+        )
+        raise
+    emit_worker_frame(
+        telemetry_dir,
+        "home-end",
+        home=spec.home_id,
+        status=result.status,
+        phases=dict(result.timings),
+    )
+    return result
 
 
 def run_home_payload(payload: Dict[str, object]) -> Dict[str, object]:
@@ -195,8 +256,19 @@ def run_home_payload(payload: Dict[str, object]) -> Dict[str, object]:
 
     Dicts (not dataclass instances) cross the process boundary so the
     wire format matches the JSON spec/report encodings exactly and
-    never depends on class identity across interpreter states.
+    never depends on class identity across interpreter states.  The
+    wall-clock ``timings`` ride alongside the deterministic body (the
+    runner wants them for slowest-shard attribution) but are re-stripped
+    by :meth:`HomeResult.to_dict` before anything durable is written.
     """
     spec = HomeSpec.from_dict(dict(payload["home"]))  # type: ignore[arg-type]
     state_root = payload.get("state_root")
-    return run_home(spec, state_root=str(state_root) if state_root else None).to_dict()
+    telemetry_dir = payload.get("telemetry_dir")
+    result = run_home_traced(
+        spec,
+        state_root=str(state_root) if state_root else None,
+        telemetry_dir=str(telemetry_dir) if telemetry_dir else None,
+    )
+    out = result.to_dict()
+    out["timings"] = dict(result.timings)
+    return out

@@ -23,6 +23,12 @@ This package provides that layer without touching behaviour:
 ``repro.obs.handle``
     The injectable :class:`Observability` handle carried on
     :attr:`repro.core.config.FiatConfig.obs`.
+``repro.obs.mergetree``
+    Exact (rational-sum) hierarchical merging of snapshots — the
+    shard → group → fleet tree reduction behind the fleet aggregate.
+``repro.obs.trajectory``
+    The committed perf trajectory: bench-history recording, the
+    regression gate, and the ``fiat-repro bench-report`` trend view.
 
 The invariant every consumer relies on: with observability enabled or
 disabled, ``FiatProxy.decision_log()`` is byte-identical on the same
@@ -39,6 +45,7 @@ from .exporter import (
     write_bench_snapshot,
 )
 from .handle import NULL_OBS, Observability
+from .mergetree import SnapshotAccumulator, SnapshotMergeTree, merge_snapshots
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_MS,
     CounterView,
@@ -71,4 +78,7 @@ __all__ = [
     "write_bench_snapshot",
     "render_report",
     "render_trace",
+    "SnapshotAccumulator",
+    "SnapshotMergeTree",
+    "merge_snapshots",
 ]

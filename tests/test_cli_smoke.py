@@ -85,8 +85,25 @@ CASES = [
         ["fleet-report.json", "fleet-spec.jsonl"],
     ),
     (
+        # Against the fleet case's state dir when the full module ran;
+        # against an idle (frameless) dir under -k selection — both are
+        # valid monitor states and both must exit 0.
+        "fleet-top",
+        lambda root: ["fleet-top", "--state-dir", str(root / "fleet-state")],
+        [],
+    ),
+    (
         "obs-report",
         lambda root: ["obs-report", str(root / "obs-snapshot.json")],
+        [],
+    ),
+    (
+        # No committed history in the tmpdir: renders the "no history"
+        # hint, which is the correct empty-trajectory view.
+        "bench-report",
+        lambda root: [
+            "bench-report", "--history", str(root / "bench-history.jsonl"),
+        ],
         [],
     ),
     (
@@ -140,6 +157,43 @@ def test_fleet_cli_report_parses(workdir):
         h["home_id"] for h in homes
     ]
     assert report["coverage"]["partial"] is False
+
+
+def test_fleet_cli_watch_smoke(workdir, capsys):
+    """--watch runs the live monitor thread alongside a tiny fleet and
+    leaves a final dashboard render on stderr."""
+    code = main(
+        [
+            "fleet", "--homes", "2", "--jobs", "1",
+            "--manual", "2", "--non-manual", "3", "--attacks", "1",
+            "--state-dir", str(workdir / "watch-state"),
+            "--watch", "--watch-interval", "0.2",
+            "--out", str(workdir / "watch-report.json"),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "FIAT fleet monitor" in captured.err
+    assert "DONE" in captured.err
+    # Watching never changes the report bytes.
+    assert (
+        json.loads((workdir / "watch-report.json").read_text())["n_homes"] == 2
+    )
+
+
+def test_fleet_watch_requires_state_dir(capsys):
+    assert main(["fleet", "--homes", "1", "--watch"]) == 2
+    assert "--watch requires --state-dir" in capsys.readouterr().err
+
+
+def test_obs_report_reads_fleet_state_dir(workdir, capsys):
+    """obs-report pointed at a fleet checkpoint dir renders the latest
+    compacted population aggregate."""
+    assert (workdir / "fleet-state").is_dir()
+    assert main(["obs-report", str(workdir / "fleet-state")]) == 0
+    out = capsys.readouterr().out
+    assert "fleet state dir" in out
+    assert "2 homes folded" in out
 
 
 def test_fleet_cli_resume_of_complete_run_is_noop(workdir, capsys):

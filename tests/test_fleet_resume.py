@@ -192,9 +192,13 @@ class TestResumeUnderCorruption:
             handle.write(b'8badf00d {"kind": "home", "idx": 99, "trunc')
         report = _resume(fleet, state_dir)
         assert report.to_json() == fleet.baseline
-        # the torn tail was cut (and later epochs never carried it)
+        # the torn tail was cut (and later epochs never carried it);
+        # only checkpoint files matter — skip the telemetry subdir.
         for name in os.listdir(state_dir):
-            with open(os.path.join(state_dir, name), "rb") as handle:
+            path = os.path.join(state_dir, name)
+            if not os.path.isfile(path):
+                continue
+            with open(path, "rb") as handle:
                 assert b"trunc" not in handle.read()
 
     def test_crc_corrupt_record_ends_readable_prefix(self, tmp_path, fleet):

@@ -1,0 +1,299 @@
+"""Tests for the fleet telemetry plane and live monitor.
+
+The telemetry contract has two halves and these tests pin both:
+
+* *observability*: a run with a state dir leaves CRC-framed progress
+  frames behind — run-start / progress / final on the runner channel,
+  home-start / home-end with per-phase timings on the worker channels —
+  and :class:`FleetMonitor` folds them into an accurate live snapshot
+  (status, progress, rate, phase digests, slowest-shard attribution);
+* *non-interference*: telemetry is strictly out-of-band.  The fleet
+  report is byte-identical with telemetry on or off, and wall-clock
+  phase timings never enter ``HomeResult.to_dict()`` (the checkpoint
+  digest input).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.fleet import (
+    FleetInterrupted,
+    FleetRunner,
+    FleetSpec,
+    FleetMonitor,
+    HomeSpec,
+    TelemetryWriter,
+    generate_fleet,
+    load_latest_aggregate,
+    run_home,
+    telemetry_dir_for,
+)
+from repro.fleet.telemetry import (
+    RUN_CHANNEL,
+    emit_worker_frame,
+    load_frames,
+    read_frames,
+)
+from repro.fleet.worker import run_home_traced
+
+
+def _spec(n=3, seed=0, **kwargs):
+    kwargs.setdefault("n_manual", 3)
+    kwargs.setdefault("n_non_manual", 4)
+    kwargs.setdefault("n_attacks", 2)
+    return generate_fleet(n, seed=seed, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def finished_run(tmp_path_factory):
+    """One completed 3-home serial run with a state dir, plus its report."""
+    state_dir = str(tmp_path_factory.mktemp("fleet") / "state")
+    spec = _spec(3, seed=0)
+    report = FleetRunner(spec, jobs=1, state_dir=state_dir).run()
+    return state_dir, spec, report
+
+
+class TestFrames:
+    def test_run_channel_frames(self, finished_run):
+        state_dir, spec, _ = finished_run
+        frames = read_frames(
+            os.path.join(telemetry_dir_for(state_dir), RUN_CHANNEL)
+        )
+        kinds = [frame["kind"] for frame in frames]
+        assert kinds[0] == "run-start"
+        assert kinds[-1] == "final"
+        assert kinds.count("progress") == len(spec.homes)
+        start = frames[0]
+        assert start["planned"] == len(spec.homes)
+        assert start["fleet"] == spec.name
+        final = frames[-1]
+        assert final["status"] == "done"
+        assert final["completed"] == len(spec.homes)
+
+    def test_worker_frames_carry_phase_timings(self, finished_run):
+        state_dir, spec, _ = finished_run
+        frames = load_frames(telemetry_dir_for(state_dir))
+        ends = [frame for frame in frames if frame["kind"] == "home-end"]
+        assert len(ends) == len(spec.homes)
+        for frame in ends:
+            assert frame["status"] == "ok"
+            phases = frame["phases"]
+            assert {"setup", "simulate", "condense", "total"} <= set(phases)
+            assert phases["total"] == pytest.approx(
+                sum(v for k, v in phases.items() if k != "total")
+            )
+
+    def test_torn_tail_is_tolerated(self, finished_run, tmp_path):
+        state_dir, spec, _ = finished_run
+        source = os.path.join(telemetry_dir_for(state_dir), RUN_CHANNEL)
+        torn = tmp_path / RUN_CHANNEL
+        torn.write_bytes(
+            open(source, "rb").read() + b"deadbeef {torn mid-write"
+        )
+        frames = read_frames(str(torn))
+        assert [f["kind"] for f in frames][-1] == "final"
+
+    def test_worker_channel_is_per_pid(self, tmp_path):
+        emit_worker_frame(str(tmp_path), "home-start", home="h1")
+        assert os.path.exists(tmp_path / f"worker-{os.getpid()}.jsonl")
+
+
+class TestMonitor:
+    def test_snapshot_of_finished_run(self, finished_run):
+        state_dir, spec, report = finished_run
+        snap = FleetMonitor(state_dir).poll()
+        assert snap.status == "done"
+        assert snap.completed == len(spec.homes)
+        assert snap.planned == len(spec.homes)
+        assert snap.ok == len(spec.homes) and snap.failed == 0
+        assert snap.fraction_done == 1.0
+        assert snap.n_runs == 1
+        assert not snap.in_flight
+        assert {"setup", "simulate", "condense", "total"} <= set(snap.phases)
+        assert snap.phases["simulate"].n == len(spec.homes)
+        # Slowest attribution: totals match the per-home sum, dominant
+        # phase is a real phase (never the synthetic "total" row).
+        assert snap.slowest
+        for home, total, dominant in snap.slowest:
+            assert total > 0
+            assert dominant in ("setup", "simulate", "condense")
+
+    def test_monitor_accepts_telemetry_dir_itself(self, finished_run):
+        state_dir, spec, _ = finished_run
+        snap = FleetMonitor(telemetry_dir_for(state_dir)).poll()
+        assert snap.completed == len(spec.homes)
+
+    def test_render_mentions_progress_and_phases(self, finished_run):
+        state_dir, spec, _ = finished_run
+        text = FleetMonitor(state_dir).render()
+        assert "DONE" in text
+        assert f"{len(spec.homes)}/{len(spec.homes)} homes" in text
+        assert "simulate" in text and "slowest" in text
+
+    def test_empty_dir_is_idle(self, tmp_path):
+        monitor = FleetMonitor(str(tmp_path / "nothing"))
+        assert monitor.poll().status == "idle"
+        assert "no telemetry frames yet" in monitor.render()
+
+    def test_silent_running_channel_goes_stale(self, tmp_path):
+        """A SIGKILLed run leaves no final frame; once its frames stop
+        ageing the monitor must say *stale*, not *running*."""
+        directory = str(tmp_path / "telemetry")
+        with TelemetryWriter(directory) as writer:
+            writer.emit("run-start", fleet="f", planned=10, jobs=1, backend="serial")
+            writer.emit(
+                "progress", completed=4, ok=4, failed=0,
+                elapsed_s=2.0, homes_per_sec=2.0,
+            )
+        monitor = FleetMonitor(directory, stale_after_s=30.0)
+        fresh = monitor.poll()
+        assert fresh.status == "running"
+        assert fresh.eta_s == pytest.approx(3.0)  # 6 remaining / 2 per sec
+        import time
+
+        later = monitor.poll(now=time.time() + 120.0)
+        assert later.status == "stale"
+
+
+class TestNonInterference:
+    def test_report_bytes_identical_with_telemetry_on_off(self, tmp_path):
+        spec = _spec(3, seed=1)
+        plain = FleetRunner(spec, jobs=1).run()
+        with_telemetry = FleetRunner(
+            spec, jobs=1, state_dir=str(tmp_path / "state")
+        ).run()
+        without = FleetRunner(
+            spec, jobs=1, state_dir=str(tmp_path / "state2"), telemetry=False
+        ).run()
+        assert with_telemetry.to_json() == plain.to_json()
+        assert without.to_json() == plain.to_json()
+        assert not os.path.isdir(telemetry_dir_for(str(tmp_path / "state2")))
+
+    def test_timings_never_enter_result_dict(self):
+        result = run_home(_spec(1, seed=5).homes[0])
+        assert result.timings  # measured...
+        assert {"setup", "simulate", "condense", "total"} <= set(result.timings)
+        assert "timings" not in result.to_dict()  # ...but out-of-band
+
+    def test_run_home_traced_without_telemetry_is_passthrough(self):
+        home = _spec(1, seed=5).homes[0]
+        assert (
+            run_home_traced(home).to_dict() == run_home(home).to_dict()
+        )
+
+    def test_run_home_traced_emits_frames(self, tmp_path):
+        home = _spec(1, seed=5).homes[0]
+        run_home_traced(home, telemetry_dir=str(tmp_path))
+        frames = load_frames(str(tmp_path))
+        assert [f["kind"] for f in frames] == ["home-start", "home-end"]
+        assert frames[0]["home"] == frames[1]["home"] == home.home_id
+        assert frames[1]["status"] == "ok"
+
+    def test_run_home_traced_reports_errors_then_raises(self, tmp_path):
+        base = _spec(3, seed=1)
+        poisoned = base.homes[1].to_dict()
+        poisoned["poison"] = "raise"
+        home = HomeSpec.from_dict(poisoned)
+        with pytest.raises(RuntimeError, match="poison home"):
+            run_home_traced(home, telemetry_dir=str(tmp_path))
+        frames = load_frames(str(tmp_path))
+        assert frames[-1]["kind"] == "home-end"
+        assert frames[-1]["status"] == "error"
+        assert "poison" in frames[-1]["error"]
+
+
+class _StopDuringStream:
+    """Spec-stream wrapper that requests a stop after ``stop_at`` homes."""
+
+    def __init__(self, inner: FleetSpec, stop_at: int):
+        from repro.fleet import MemorySpecStream
+
+        self.inner = MemorySpecStream(inner)
+        self.stop_at = stop_at
+        self.runner = None
+        self.name = self.inner.name
+        self.seed = self.inner.seed
+        self.n_homes = self.inner.n_homes
+        self.digest = self.inner.digest
+
+    def iter_homes(self):
+        for idx, home in enumerate(self.inner.iter_homes()):
+            if idx == self.stop_at and self.runner is not None:
+                self.runner._stop_requested = True
+            yield home
+
+
+class TestInterruptTelemetry:
+    def test_interrupted_run_flushes_final_frame(self, tmp_path):
+        """SIGTERM-style stop: the final frame records the partial
+        coverage and the monitor shows INTERRUPTED, not a hang."""
+        state_dir = str(tmp_path / "state")
+        spec = _spec(4, seed=2)
+        stream = _StopDuringStream(spec, stop_at=2)
+        runner = FleetRunner(stream, jobs=1, state_dir=state_dir)
+        stream.runner = runner
+        with pytest.raises(FleetInterrupted):
+            runner.run()
+        frames = read_frames(
+            os.path.join(telemetry_dir_for(state_dir), RUN_CHANNEL)
+        )
+        final = frames[-1]
+        assert final["kind"] == "final"
+        assert final["status"] == "interrupted"
+        assert final["completed"] == 2
+        snap = FleetMonitor(state_dir).poll()
+        assert snap.status == "interrupted"
+        assert snap.completed == 2 and snap.planned == 4
+
+    def test_resumed_run_reports_carried_over_homes(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        spec = _spec(4, seed=2)
+        stream = _StopDuringStream(spec, stop_at=2)
+        runner = FleetRunner(stream, jobs=1, state_dir=state_dir)
+        stream.runner = runner
+        with pytest.raises(FleetInterrupted):
+            runner.run()
+        FleetRunner(spec, jobs=1, state_dir=state_dir, resume=True).run()
+        snap = FleetMonitor(state_dir).poll()
+        assert snap.status == "done"
+        assert snap.n_runs == 2
+        assert snap.resumed_from == 2
+        assert snap.completed == 4
+
+
+class TestProfileSlowest:
+    def test_profile_artifacts_written(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        FleetRunner(
+            _spec(2, seed=3), jobs=1, state_dir=state_dir, profile_slowest=True
+        ).run()
+        profiles = [n for n in os.listdir(state_dir) if n.startswith("profile-")]
+        assert any(n.endswith(".prof") for n in profiles)
+        texts = [n for n in profiles if n.endswith(".txt")]
+        assert texts
+        body = open(os.path.join(state_dir, texts[0])).read()
+        assert "cumulative" in body
+
+    def test_profiling_does_not_change_report(self, tmp_path):
+        spec = _spec(2, seed=3)
+        plain = FleetRunner(spec, jobs=1).run()
+        profiled = FleetRunner(
+            spec, jobs=1, state_dir=str(tmp_path / "s"), profile_slowest=True
+        ).run()
+        assert profiled.to_json() == plain.to_json()
+
+
+class TestLoadLatestAggregate:
+    def test_reconstructs_finished_run(self, finished_run):
+        state_dir, spec, report = finished_run
+        agg = load_latest_aggregate(state_dir)
+        assert agg.completed == len(spec.homes)
+        assert agg.n_ok == len(spec.homes)
+        assert agg.merged.to_json() is not None
+        assert agg.report().to_json() == report.to_json()
+
+    def test_missing_state_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_latest_aggregate(str(tmp_path / "nope"))

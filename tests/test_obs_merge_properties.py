@@ -23,7 +23,7 @@ import random
 
 import pytest
 
-from repro.obs.registry import Histogram, MetricsSnapshot
+from repro.obs.registry import Histogram, MetricsRegistry, MetricsSnapshot
 
 #: Counter families sampled by the generator (names mirror production).
 COUNTERS = ("proxy_decisions_total", "proofs_verified_total", "alerts_total")
@@ -135,3 +135,97 @@ class TestMergeSemantics:
         assert merged.count == 2
         assert merged.sum == 20.5
         assert merged.min == 0.5 and merged.max == 20.0
+
+
+class TestMergeEdgeCases:
+    """Boundary conditions the fleet merge path must hold exactly."""
+
+    def test_label_cardinality_cap_at_exact_boundary(self):
+        """Filling the cap exactly creates no overflow series; the very
+        next distinct label set folds into ``_overflow``."""
+        registry = MetricsRegistry(max_label_sets=3)
+        for k in range(3):
+            registry.inc("c", key=str(k))
+        assert registry.n_label_overflows == 0
+        at_cap = registry.snapshot()
+        assert len(at_cap.counters["c"]) == 3
+        assert not any("_overflow" in key for key in at_cap.counters["c"])
+
+        registry.inc("c", key="3")  # one past the cap
+        assert registry.n_label_overflows == 1
+        over = registry.snapshot()
+        assert len(over.counters["c"]) == 4  # 3 real + the overflow bucket
+        assert over.counters["c"]['_overflow=true'] == 1.0
+        # Capped shards still merge like any other shard.
+        merged = over.merge(over)
+        assert merged.counters["c"]['_overflow=true'] == 2.0
+
+    def test_histogram_merge_over_disjoint_label_sets(self):
+        """Series under the same metric name but different labels pass
+        through untouched — no cross-label mixing."""
+        bounds = (1.0, 10.0)
+        one, two = Histogram(boundaries=bounds), Histogram(boundaries=bounds)
+        one.observe(0.5)
+        one.observe(2.0)
+        two.observe(20.0)
+        a = MetricsSnapshot(histograms={"h": {"device=A": one.to_dict()}})
+        b = MetricsSnapshot(histograms={"h": {"device=B": two.to_dict()}})
+        merged = a.merge(b)
+        assert set(merged.histograms["h"]) == {"device=A", "device=B"}
+        left = merged.histogram("h", "device=A")
+        right = merged.histogram("h", "device=B")
+        assert left.count == 2 and left.sum == 2.5
+        assert right.count == 1 and right.sum == 20.0
+
+    def test_empty_shards_are_identity_anywhere_in_the_fold(self):
+        """A fleet whose stream interleaves no-op shards aggregates to
+        the same bytes as one without them."""
+        shards = make_shards(11, n=4)
+        def fold(sequence):
+            merged = MetricsSnapshot()
+            for shard in sequence:
+                merged = merged.merge(shard)
+            return merged.to_json()
+
+        with_empties = [MetricsSnapshot()]
+        for shard in shards:
+            with_empties.extend([shard, MetricsSnapshot()])
+        assert fold(with_empties) == fold(shards)
+
+
+class TestPrometheusRendering:
+    """The text exposition of merged population snapshots."""
+
+    def _shard(self, inc, observations):
+        registry = MetricsRegistry()
+        registry.inc("packets_total", inc, action="allow")
+        registry.set_gauge("breaker_state", inc, component="ml")
+        for value in observations:
+            registry.observe("lat_ms", value, boundaries=(1.0, 10.0))
+        return registry.snapshot()
+
+    def test_merged_population_renders_summed_series(self):
+        merged = self._shard(3, [0.5]).merge(self._shard(4, [2.0, 20.0]))
+        text = merged.render_prometheus()
+        assert "# TYPE packets_total counter" in text
+        assert 'packets_total{action="allow"} 7' in text
+        assert "# TYPE breaker_state gauge" in text
+        assert 'breaker_state{component="ml"} 4' in text  # last writer
+        assert "# TYPE lat_ms histogram" in text
+        # Cumulative buckets over the merged counts: 1 below 1.0, 2
+        # at or below 10.0, all 3 below +Inf.
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="10"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 3' in text
+        assert "lat_ms_sum 22.5" in text
+        assert "lat_ms_count 3" in text
+
+    def test_bucket_lines_keep_series_labels(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_ms", 0.5, boundaries=(1.0,), device="SP2")
+        text = registry.snapshot().render_prometheus()
+        assert 'lat_ms_bucket{device="SP2",le="1"} 1' in text
+        assert 'lat_ms_count{device="SP2"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert MetricsSnapshot().render_prometheus().strip() == ""

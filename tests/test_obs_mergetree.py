@@ -1,0 +1,218 @@
+"""Equivalence and state tests for the exact snapshot merge tree.
+
+The fleet aggregate now folds shard snapshots through
+:class:`repro.obs.mergetree.SnapshotMergeTree` instead of the linear
+``MetricsSnapshot.merge`` fold.  The contract these tests pin down:
+
+* the tree renders byte-identically to the exact linear accumulator
+  fold over the same ordered shard sequence, for *any* values and any
+  tree shape (exact rational addition is associative);
+* for integral-valued shards — every production counter and histogram
+  count — the tree is also byte-identical to the *old float* fold, so
+  swapping the fold for the tree changed no committed report bytes;
+* serialising the tree mid-stream and resuming reproduces the
+  uninterrupted result bit for bit (the checkpoint path);
+* group trees absorbed in range order (shard → group → fleet) equal
+  the flat tree over the concatenated sequence (the multi-machine
+  merge-final step).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.mergetree import (
+    SnapshotAccumulator,
+    SnapshotMergeTree,
+    merge_snapshots,
+)
+from repro.obs.registry import Histogram, MetricsSnapshot
+
+from test_obs_merge_properties import HISTOGRAMS, make_shards
+
+
+def make_fractional_shard(rng: random.Random, shard_id: int) -> MetricsSnapshot:
+    """A shard with awkward fractional values (floats, not integers)."""
+    counters = {
+        "latency_total_ms": {
+            f"device=SP{k}": rng.random() * 10.0 ** rng.randrange(-3, 4)
+            for k in range(rng.randrange(1, 4))
+        }
+    }
+    gauges = {"drift": {f"shard={shard_id}": rng.random()}}
+    histograms = {}
+    for name, boundaries in HISTOGRAMS.items():
+        histogram = Histogram(boundaries=boundaries)
+        for _ in range(rng.randrange(1, 12)):
+            histogram.observe(rng.random() * 30.0)
+        histograms[name] = {"": histogram.to_dict()}
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+
+def make_fractional_shards(seed: int, n: int):
+    rng = random.Random(seed)
+    return [make_fractional_shard(rng, shard_id) for shard_id in range(n)]
+
+
+def exact_linear_fold(shards) -> MetricsSnapshot:
+    """The reference: exact accumulators folded left to right."""
+    acc = SnapshotAccumulator()
+    for shard in shards:
+        acc = acc.merge(SnapshotAccumulator.from_snapshot(shard))
+    return acc.snapshot()
+
+
+def old_float_fold(shards) -> MetricsSnapshot:
+    """The pre-tree implementation the fleet aggregate used."""
+    merged = MetricsSnapshot()
+    for shard in shards:
+        merged = merged.merge(shard)
+    return merged
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("n", [1, 2, 3, 7, 16])
+class TestTreeEquivalence:
+    def test_tree_matches_exact_linear_fold_fractional(self, seed, n):
+        """Any tree shape == the exact sequential fold, for any floats."""
+        shards = make_fractional_shards(seed, n)
+        assert merge_snapshots(shards).to_json() == exact_linear_fold(shards).to_json()
+
+    def test_tree_matches_old_float_fold_integral(self, seed, n):
+        """For integral shards (production counters/counts) the swap
+        from linear float fold to tree changed no report bytes."""
+        shards = make_shards(seed, n=n)
+        assert merge_snapshots(shards).to_json() == old_float_fold(shards).to_json()
+
+
+class TestTreeStructure:
+    def test_levels_stay_logarithmic(self):
+        tree = SnapshotMergeTree()
+        for shard in make_fractional_shards(0, 33):
+            tree.add(shard)
+        assert tree.n_shards == 33
+        # 33 shards -> binary 100001 -> at most 6 forest levels.
+        assert len(tree._levels) <= 6
+
+    def test_collapse_is_non_destructive(self):
+        tree = SnapshotMergeTree()
+        for shard in make_fractional_shards(1, 5):
+            tree.add(shard)
+        first = tree.result().to_json()
+        assert tree.result().to_json() == first
+        tree.add(make_fractional_shard(random.Random(99), 5))
+        assert tree.n_shards == 6
+
+    def test_empty_tree_renders_empty_snapshot(self):
+        assert SnapshotMergeTree().result().to_json() == MetricsSnapshot().to_json()
+
+    def test_empty_accumulator_is_identity(self):
+        (shard,) = make_fractional_shards(2, 1)
+        lifted = SnapshotAccumulator.from_snapshot(shard)
+        left = SnapshotAccumulator().merge(lifted)
+        right = lifted.merge(SnapshotAccumulator())
+        assert left.snapshot().to_json() == shard.to_json()
+        assert right.snapshot().to_json() == shard.to_json()
+
+    def test_gauge_last_writer_order_preserved(self):
+        """Conflicting gauge series resolve to the *latest* shard no
+        matter how the tree groups the sequence."""
+        shards = [
+            MetricsSnapshot(gauges={"epoch": {"": float(i)}}) for i in range(9)
+        ]
+        assert merge_snapshots(shards).gauges["epoch"][""] == 8.0
+
+    def test_histogram_boundary_conflict_later_range_wins(self):
+        one = Histogram(boundaries=(1.0, 2.0))
+        one.observe(0.5)
+        two = Histogram(boundaries=(5.0, 50.0))
+        two.observe(7.0)
+        shards = [
+            MetricsSnapshot(histograms={"h": {"": one.to_dict()}}),
+            MetricsSnapshot(histograms={"h": {"": two.to_dict()}}),
+        ]
+        merged = merge_snapshots(shards).histogram("h")
+        assert merged is not None
+        assert list(merged.boundaries) == [5.0, 50.0]
+        assert merged.count == 1 and merged.sum == 7.0
+
+
+class TestTreeState:
+    @pytest.mark.parametrize("cut", [0, 1, 3, 6])
+    def test_state_roundtrip_midstream_is_bit_identical(self, cut):
+        """Checkpoint the tree after ``cut`` shards, resume, finish:
+        same bytes as the uninterrupted run."""
+        shards = make_fractional_shards(5, 7)
+        uninterrupted = merge_snapshots(shards)
+
+        tree = SnapshotMergeTree()
+        for shard in shards[:cut]:
+            tree.add(shard)
+        state = json.loads(json.dumps(tree.to_state()))  # through JSON
+        resumed = SnapshotMergeTree.from_state(state)
+        for shard in shards[cut:]:
+            resumed.add(shard)
+        assert resumed.n_shards == len(shards)
+        assert resumed.result().to_json() == uninterrupted.to_json()
+
+    def test_state_format_guard(self):
+        with pytest.raises(ValueError):
+            SnapshotMergeTree.from_state({"format": 99, "levels": []})
+
+    def test_accumulator_state_keeps_rationals_exact(self):
+        shards = make_fractional_shards(6, 3)
+        acc = SnapshotMergeTree()
+        for shard in shards:
+            acc.add(shard)
+        collapsed = acc.collapse()
+        state = json.loads(json.dumps(collapsed.to_state()))
+        restored = SnapshotAccumulator.from_state(state)
+        assert restored.snapshot().to_json() == collapsed.snapshot().to_json()
+        # The state encodes exact rationals, not rounded floats.
+        series = state["counters"]["latency_total_ms"]
+        assert all("/" in value for value in series.values())
+
+
+class TestAbsorb:
+    @pytest.mark.parametrize("splits", [(3, 4), (1, 1, 5), (2, 2, 2, 1)])
+    def test_group_trees_equal_flat_tree(self, splits):
+        """shard -> group -> fleet == flat fold over the sequence."""
+        shards = make_fractional_shards(7, sum(splits))
+        flat = merge_snapshots(shards)
+
+        fleet = SnapshotMergeTree()
+        offset = 0
+        for size in splits:
+            group = SnapshotMergeTree()
+            for shard in shards[offset : offset + size]:
+                group.add(shard)
+            fleet.absorb(group)
+            offset += size
+        assert fleet.n_shards == len(shards)
+        assert fleet.result().to_json() == flat.to_json()
+
+    def test_absorb_empty_tree_is_noop(self):
+        shards = make_fractional_shards(8, 3)
+        tree = SnapshotMergeTree()
+        for shard in shards:
+            tree.add(shard)
+        before = tree.result().to_json()
+        tree.absorb(SnapshotMergeTree())
+        assert tree.n_shards == 3
+        assert tree.result().to_json() == before
+
+    def test_absorb_through_state_shipping(self):
+        """The multi-machine path: groups serialise, ship, absorb."""
+        shards = make_fractional_shards(9, 6)
+        flat = merge_snapshots(shards)
+        groups = []
+        for lo in (0, 2, 4):
+            group = SnapshotMergeTree()
+            for shard in shards[lo : lo + 2]:
+                group.add(shard)
+            groups.append(json.dumps(group.to_state()))
+        fleet = SnapshotMergeTree()
+        for payload in groups:
+            fleet.absorb(SnapshotMergeTree.from_state(json.loads(payload)))
+        assert fleet.result().to_json() == flat.to_json()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Record, gate, and report the committed perf trajectory.
+
+The benches already write machine-readable ``BENCH_*.json`` headlines
+when ``FIAT_BENCH_OUT`` is set; this tool turns those one-off files
+into the *committed* trajectory under ``benchmarks/baselines/``:
+
+Record a run (after ``FIAT_BENCH_OUT=/tmp/bench pytest benchmarks/...``)::
+
+    python tools/bench_track.py record --bench-dir /tmp/bench \
+        --run "$GITHUB_RUN_ID" --note "PR 7 baseline"
+
+Gate the newest entry against the history median (CI regression gate;
+exits 1 on any tracked metric outside its tolerance)::
+
+    python tools/bench_track.py check
+
+Render the trend table (same view as ``fiat-repro bench-report``)::
+
+    python tools/bench_track.py report --last 20
+
+The history file is plain JSONL (one entry per run, headlines only) so
+diffs stay reviewable and a botched line can never brick the gate —
+malformed entries are skipped on read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_HISTORY_PATH,
+    check_regression,
+    load_history,
+    record_run,
+    render_trend,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_track", description="committed perf trajectory tool"
+    )
+    parser.add_argument(
+        "--history",
+        default=os.path.join(REPO_ROOT, DEFAULT_HISTORY_PATH),
+        help="trajectory history JSONL (default: benchmarks/baselines/history.jsonl)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="append one bench run to the history")
+    record.add_argument(
+        "--bench-dir", required=True,
+        help="directory holding the run's BENCH_*.json files (FIAT_BENCH_OUT)",
+    )
+    record.add_argument("--run", default="local", help="run id (e.g. CI run number)")
+    record.add_argument("--note", default="", help="free-form annotation")
+
+    check = sub.add_parser(
+        "check", help="gate the newest entry against the history median (exit 1 on regression)"
+    )
+    check.add_argument(
+        "--bench-dir",
+        help="optionally record this bench dir first, then gate it",
+    )
+    check.add_argument("--run", default="local", help="run id when --bench-dir is given")
+
+    report = sub.add_parser("report", help="render the trend table")
+    report.add_argument("--last", type=int, default=12, help="sparkline window")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "record":
+        entry = record_run(
+            args.bench_dir, history_path=args.history, run_id=args.run, note=args.note
+        )
+        benches = ", ".join(sorted(entry["benches"]))
+        print(f"recorded run {entry['run']!r} ({benches}) -> {args.history}")
+        return 0
+
+    if args.command == "check":
+        if args.bench_dir:
+            record_run(args.bench_dir, history_path=args.history, run_id=args.run)
+        entries = load_history(args.history)
+        if not entries:
+            print(f"bench gate: no history at {args.history} — nothing to gate")
+            return 0
+        result = check_regression(entries)
+        print(result.describe())
+        return 0 if result.ok else 1
+
+    entries = load_history(args.history)
+    print(render_trend(entries, last=args.last))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
