@@ -1,0 +1,116 @@
+"""Performance bench: streaming engine vs scalar proxy path.
+
+Runs the identical household packet stream through the scalar
+per-packet proxy and through the windowed streaming engine
+(``repro.stream``), checking the two contracts at once: the decision
+log stays **byte-identical**, and the streaming path clears the >= 2x
+throughput target the engine exists for (vectorized rule matching +
+bulk bootstrap learning; a 4096-packet window amortises the NumPy
+dispatch).  Rounds are interleaved so CPU frequency scaling cannot
+skew the ratio.
+
+Results are also written as a machine-readable ``BENCH_streaming.json``
+(directory from ``FIAT_BENCH_OUT``) and feed the committed trajectory
+(``tools/bench_track.py``).
+"""
+
+import gc
+from time import perf_counter
+
+from repro.core import FiatConfig, FiatProxy, HumanValidationService, train_event_classifier
+from repro.crypto import pair
+from repro.obs import write_bench_snapshot
+from repro.sensors import HumannessValidator
+from repro.stream import StreamingEngine
+from repro.testbed import APP_PACKAGES, profile_for
+
+from benchmarks._helpers import bench_out_path
+
+#: Streaming window used for the headline (amortisation sweet spot).
+WINDOW = 4096
+ROUNDS = 5
+
+
+def _build_proxy(result, streaming):
+    _, proxy_ks = pair("phone", "proxy")
+    classifiers = {}
+    for name in result.trace.devices():
+        profile = profile_for(name)
+        if profile.uses_simple_rules:
+            classifiers[name] = train_event_classifier(profile)
+    proxy = FiatProxy(
+        config=FiatConfig(bootstrap_s=1200.0, streaming=streaming, stream_window=WINDOW),
+        dns=result.cloud.dns,
+        classifiers=classifiers,
+        validation=HumanValidationService(
+            proxy_ks,
+            validator=HumannessValidator(n_train_per_class=60, seed=0).fit(),
+        ),
+        app_for_device=dict(APP_PACKAGES),
+    )
+    if streaming:
+        proxy.attach_engine(StreamingEngine(proxy, window=WINDOW))
+    return proxy
+
+
+def _timed_run(result, packets, streaming):
+    proxy = _build_proxy(result, streaming)
+    gc.collect()
+    gc.disable()
+    t0 = perf_counter()
+    if streaming:
+        proxy._engine.feed_many(packets)
+    else:
+        process = proxy.process
+        for packet in packets:
+            process(packet)
+    proxy.flush()
+    elapsed = perf_counter() - t0
+    gc.enable()
+    return elapsed, proxy
+
+
+def test_streaming_throughput_and_equivalence(testbed_household):
+    result = testbed_household
+    packets = list(result.trace)[:20000]
+
+    # Warm both paths (imports, memo caches) outside the timed rounds.
+    _timed_run(result, packets[:2000], False)
+    _timed_run(result, packets[:2000], True)
+
+    scalar_s = stream_s = float("inf")
+    for _ in range(ROUNDS):
+        elapsed, scalar_proxy = _timed_run(result, packets, False)
+        scalar_s = min(scalar_s, elapsed)
+        elapsed, stream_proxy = _timed_run(result, packets, True)
+        stream_s = min(stream_s, elapsed)
+
+    assert stream_proxy.decision_log() == scalar_proxy.decision_log()
+    assert (stream_proxy.n_allowed, stream_proxy.n_dropped) == (
+        scalar_proxy.n_allowed,
+        scalar_proxy.n_dropped,
+    )
+
+    n = len(packets)
+    scalar_rate = n / scalar_s
+    stream_rate = n / stream_s
+    speedup = stream_rate / scalar_rate
+    print(
+        f"\nscalar {scalar_rate:,.0f} pkt/s, streaming {stream_rate:,.0f} pkt/s "
+        f"(speedup {speedup:.2f}x, window {WINDOW})"
+    )
+
+    headline = {
+        "batch_packets_per_s": round(scalar_rate),
+        "streaming_packets_per_s": round(stream_rate),
+        "speedup_x": round(speedup, 3),
+        "window": WINDOW,
+        "n_packets": n,
+        "n_decisions": len(stream_proxy.decisions),
+    }
+    write_bench_snapshot(
+        bench_out_path("BENCH_streaming.json"), "streaming", headline
+    )
+    # The tentpole target: the vectorized path must at least double
+    # throughput on the realistic household mix.
+    assert speedup >= 2.0

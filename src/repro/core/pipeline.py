@@ -142,6 +142,7 @@ class FiatSystem:
             app_for_device=dict(APP_PACKAGES),
             start_time=0.0,
         )
+        self._attach_streaming(self.proxy)
         #: humanness-validation confusion accumulated during experiments
         self.human_confusion = {"tp": 0, "fn": 0, "tn": 0, "fp": 0}
         #: fault injection (installed by :meth:`install_faults`)
@@ -217,7 +218,15 @@ class FiatSystem:
             app_for_device=dict(APP_PACKAGES),
             start_time=0.0,
         )
+        self._attach_streaming(proxy)
         return proxy, validation
+
+    def _attach_streaming(self, proxy: FiatProxy) -> None:
+        """Attach the vectorized streaming engine when configured."""
+        if self.config.streaming:
+            from ..stream.engine import StreamingEngine
+
+            proxy.attach_engine(StreamingEngine(proxy, window=self.config.stream_window))
 
     def cold_restart(self) -> Tuple[FiatProxy, HumanValidationService]:
         """Swap in a freshly built stack (a supervised process restart).
@@ -263,11 +272,15 @@ class FiatSystem:
 
         return chaos_sweep(self, n_trials=n_trials, seed=seed, **kwargs)
 
-    def _process(self, packet) -> bool:
-        """Feed one packet to the proxy, journaling it first when enabled."""
+    def _process(self, packet) -> Optional[bool]:
+        """Feed one packet to the proxy, journaling it first when enabled.
+
+        Returns the forwarding verdict, or ``None`` when a streaming
+        engine deferred it to the next window flush.
+        """
         if self.recovery is not None:
             self.recovery.journal_packet(packet)
-        allowed = self.proxy.process(packet)
+        allowed = self.proxy.ingest(packet)
         if self.recovery is not None:
             self.recovery.maybe_checkpoint(packet.timestamp)
         return allowed

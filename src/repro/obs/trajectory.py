@@ -107,6 +107,12 @@ TRACKED_METRICS: Dict[str, Dict[str, MetricSpec]] = {
         "peak_mb.10000": MetricSpec("lower", 0.50),
         "peak_growth_x": MetricSpec("lower", 0.25, floor=0.3),
     },
+    "streaming": {
+        "streaming_packets_per_s": MetricSpec("higher", 0.40),
+        # Timing noise sits in both numerator and denominator; the hard
+        # ">= 2x" promise is asserted inside the bench itself.
+        "speedup_x": MetricSpec("higher", 0.30),
+    },
 }
 
 

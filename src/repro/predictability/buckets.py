@@ -21,6 +21,11 @@ IATs are quantised to a configurable resolution (default 0.25 s) so that
 small scheduling jitter does not break a match, while genuinely drifting
 timers — such as the Nest thermostat's motion-triggered wakeups, which
 vary by several seconds — remain unpredictable, as observed in the paper.
+
+Both the offline pass and the bulk learning path
+(:meth:`BucketPredictor.observe_batch`) run on the shared vectorized
+bin-matching core in :mod:`repro.stream.binmatch`, so offline and online
+labelling use one implementation.
 """
 
 from __future__ import annotations
@@ -28,7 +33,9 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from time import perf_counter
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..net.dns import DnsTable
 from ..net.flows import FlowDefinition, decode_flow_key, encode_flow_key, flow_key
@@ -42,14 +49,21 @@ __all__ = ["BucketPredictor", "label_predictable", "quantize_iat"]
 DEFAULT_RESOLUTION = 0.25
 
 #: Version of the serialised state schema (see :meth:`BucketPredictor.to_state`).
-_STATE_VERSION = 1
+#: v2 drops the per-packet ``packets`` history unless tracking is enabled;
+#: v1 states are lifted compatibly on load.
+_STATE_VERSION = 2
 
 
 def quantize_iat(iat: float, resolution: float = DEFAULT_RESOLUTION) -> int:
     """Quantise an inter-arrival time into an integer bin.
 
-    Bins are half-open intervals of width ``resolution``; negative IATs
-    (possible only with unsorted input) are clamped to bin 0.
+    IATs are rounded to the *nearest* multiple of ``resolution``
+    (``floor(iat / resolution + 0.5)``), so every bin ``k >= 1`` covers
+    the half-open interval ``((k - 0.5) * resolution, (k + 0.5) *
+    resolution]`` while bin 0 only covers ``(0, resolution / 2]`` — at
+    the default 0.25 s resolution, ``quantize_iat(0.124) == 0`` but
+    ``quantize_iat(0.125) == 1``.  Non-positive IATs (possible only with
+    unsorted input) are clamped to bin 0.
     """
     if iat <= 0:
         return 0
@@ -65,7 +79,9 @@ class _BucketState:
         self.last_timestamp: Optional[float] = None
         #: bin -> number of times this IAT bin was computed
         self.iat_bins: Dict[int, int] = {}
-        #: per observed packet (after the first): (packet_index, bin)
+        #: per observed packet (after the first): (packet_index, bin).
+        #: Only populated when the owning predictor tracks packet bins —
+        #: the online proxy must stay O(buckets x bins), not O(packets).
         self.packet_bins: List[Tuple[int, int]] = []
 
 
@@ -85,6 +101,13 @@ class BucketPredictor:
         A new IAT matches a learned one when its bin is within this many
         bins of a previously seen bin (0 = exact bin match).  One
         neighbour bin absorbs boundary jitter.
+    track_packet_bins:
+        When true, every observed packet's (index, bin) pair is kept in
+        its bucket's ``packet_bins`` history — an **offline-analysis**
+        aid whose memory grows per packet.  Off by default: the
+        long-running online proxy must stay bounded by buckets x bins
+        (this was an unbounded leak when the history was unconditional),
+        and its ``to_state`` snapshots/journals shrink accordingly.
     obs:
         Optional :class:`~repro.obs.Observability` handle backing
         :meth:`timed_observe`, which feeds the
@@ -100,15 +123,19 @@ class BucketPredictor:
         dns: Optional[DnsTable] = None,
         resolution: float = DEFAULT_RESOLUTION,
         neighbor_bins: int = 1,
+        track_packet_bins: bool = False,
         obs: Optional[Observability] = None,
     ) -> None:
         self.definition = definition
         self.dns = dns
         self.resolution = resolution
         self.neighbor_bins = neighbor_bins
+        self.track_packet_bins = track_packet_bins
         self._obs = obs if obs is not None else NULL_OBS
         self._buckets: Dict[Tuple[Hashable, ...], _BucketState] = defaultdict(_BucketState)
         self._n_observed = 0
+        #: lazily built flow-key interner backing :meth:`observe_batch`
+        self._interner = None
 
     # -- online interface ---------------------------------------------------------
 
@@ -154,13 +181,131 @@ class BucketPredictor:
         iat_bin = quantize_iat(iat, self.resolution)
         matched = self._bin_matches(state, iat_bin)
         state.iat_bins[iat_bin] = state.iat_bins.get(iat_bin, 0) + 1
-        state.packet_bins.append((self._n_observed - 1, iat_bin))
+        if self.track_packet_bins:
+            state.packet_bins.append((self._n_observed - 1, iat_bin))
         return matched
+
+    def observe_batch(
+        self,
+        packets: Sequence[Packet],
+        kids: Optional[np.ndarray] = None,
+        timestamps: Optional[np.ndarray] = None,
+        keys: Optional[List[Tuple[Hashable, ...]]] = None,
+    ) -> None:
+        """Bulk-feed packets through the vectorized learning path.
+
+        Produces **exactly** the learner state of calling
+        :meth:`observe` once per packet in order (same bucket creation
+        order, bin insertion order, last timestamps and
+        ``_n_observed``), but computes all IAT bins in one NumPy pass
+        and touches each distinct (bucket, bin) pair once instead of
+        each packet.  Match flags are not reported — this is the
+        learning path (the proxy's bootstrap window ignores them);
+        enforcement-time matching lives in :mod:`repro.stream.engine`.
+
+        ``kids``/``timestamps``/``keys`` let a caller that already
+        interned the packets (the streaming engine, whose
+        :class:`~repro.stream.binmatch.KeyInterner` shares this
+        predictor's flow definition and DNS table) pass its bucket ids
+        and ``kid -> flow key`` list instead of paying a second
+        interning pass; they must be supplied together.
+
+        Falls back to the scalar loop when per-packet history tracking
+        is on (the history needs global packet indices per packet) or
+        when bins overflow the packed-code range.
+        """
+        n = len(packets)
+        if n == 0:
+            return
+        if self.track_packet_bins or n == 1:
+            for packet in packets:
+                self.observe(packet)
+            return
+
+        from ..stream.binmatch import (
+            PAIR_SHIFT,
+            KeyInterner,
+            chain_prev,
+            codes_safe,
+            first_last_per_kid,
+            pair_codes,
+            quantize_iat_array,
+        )
+
+        if kids is None:
+            interner = self._interner
+            if interner is None:
+                interner = self._interner = KeyInterner(self.definition, self.dns)
+            interner.check_dns()
+            memo_get = interner.memo.get
+            raw = interner.raw
+            slow = interner.intern_slow
+            kid_list: List[int] = []
+            append = kid_list.append
+            for packet in packets:
+                rk = raw(packet)
+                kid = memo_get(rk)
+                if kid is None:
+                    kid = slow(packet, rk)
+                append(kid)
+            kids = np.asarray(kid_list, dtype=np.int64)
+            keys = interner.keys
+        assert keys is not None
+        if timestamps is None:
+            timestamps = np.fromiter(
+                (p.timestamp for p in packets), dtype=np.float64, count=n
+            )
+
+        # Bucket states for this batch's kids, created (when new) in
+        # first-occurrence order — the scalar bucket creation order.
+        uniq_kids, first_idx, last_idx = first_last_per_kid(kids)
+        order = np.argsort(first_idx, kind="stable")
+        buckets = self._buckets
+        state_by_kid: Dict[int, _BucketState] = {}
+        for pos in order.tolist():
+            kid = int(uniq_kids[pos])
+            state_by_kid[kid] = buckets[keys[kid]]
+
+        # Carry each bucket's pre-batch last_timestamp into the batch's
+        # first packet of that bucket (at most one such packet per kid).
+        _, prev_ts = chain_prev(kids, timestamps)
+        firsts = np.nonzero(np.isnan(prev_ts))[0]
+        if len(firsts):
+            prev_ts[firsts] = [
+                np.nan if last is None else last
+                for last in (state_by_kid[int(kids[i])].last_timestamp for i in firsts)
+            ]
+        has_prev = ~np.isnan(prev_ts)
+
+        iats = timestamps - prev_ts
+        bins = quantize_iat_array(iats, self.resolution)
+        if not codes_safe(kids[has_prev], bins[has_prev], self.neighbor_bins):
+            for packet in packets:
+                self.observe(packet)
+            return
+
+        # Per-(bucket, bin) counts, applied in first-occurrence order so
+        # each bucket's bin dict lists bins exactly as the scalar loop
+        # would have inserted them (serialised state stays identical).
+        uniq_codes, code_first, counts = np.unique(
+            pair_codes(kids[has_prev], bins[has_prev]),
+            return_index=True,
+            return_counts=True,
+        )
+        code_order = np.argsort(code_first, kind="stable")
+        for pos in code_order.tolist():
+            kid, iat_bin = divmod(int(uniq_codes[pos]), PAIR_SHIFT)
+            iat_bins = state_by_kid[kid].iat_bins
+            iat_bins[iat_bin] = iat_bins.get(iat_bin, 0) + int(counts[pos])
+
+        for kid, i in zip(uniq_kids.tolist(), last_idx.tolist()):
+            state_by_kid[kid].last_timestamp = float(timestamps[i])
+        self._n_observed += n
 
     def learn_trace(self, trace: Iterable[Packet]) -> None:
         """Bulk-feed a (bootstrap) trace without collecting the results."""
-        for packet in trace:
-            self.observe(packet)
+        packets = trace if isinstance(trace, (list, tuple)) else list(trace)
+        self.observe_batch(packets)
 
     # -- learned-state inspection ---------------------------------------------------
 
@@ -198,25 +343,27 @@ class BucketPredictor:
         """Serialise the learned bucket tables (versioned, JSON-native).
 
         Bucket iteration order is preserved so a restored predictor
-        freezes rules in the same order as an uninterrupted one.
+        freezes rules in the same order as an uninterrupted one.  The
+        per-packet ``packets`` history is emitted only when tracking is
+        enabled — the online learner's state is O(buckets x bins), so
+        snapshots and journals stay flat no matter how long the proxy
+        has been running.
         """
         buckets = []
         for key, state in self._buckets.items():
-            buckets.append(
-                [
-                    encode_flow_key(key),
-                    {
-                        "last": state.last_timestamp,
-                        "bins": {str(b): count for b, count in state.iat_bins.items()},
-                        "packets": [[index, b] for index, b in state.packet_bins],
-                    },
-                ]
-            )
+            encoded: Dict[str, object] = {
+                "last": state.last_timestamp,
+                "bins": {str(b): count for b, count in state.iat_bins.items()},
+            }
+            if self.track_packet_bins:
+                encoded["packets"] = [[index, b] for index, b in state.packet_bins]
+            buckets.append([encode_flow_key(key), encoded])
         return {
             "v": _STATE_VERSION,
             "definition": self.definition.value,
             "resolution": self.resolution,
             "neighbor_bins": self.neighbor_bins,
+            "track_packet_bins": self.track_packet_bins,
             "n_observed": self._n_observed,
             "buckets": buckets,
         }
@@ -230,17 +377,25 @@ class BucketPredictor:
     ) -> "BucketPredictor":
         """Rebuild a predictor from :meth:`to_state` output.
 
+        Accepts the current v2 schema and lifts v1 states compatibly:
+        v1 always carried the per-packet history, which is preserved
+        only when the lifted predictor tracks packet bins (v1 states
+        load as non-tracking by default — the online-learner memory fix
+        applies retroactively to old snapshots).
+
         ``dns`` and ``obs`` are process-local resources (the DNS table is
         rebuilt by the host, the observability handle belongs to the new
         process) and are therefore re-injected rather than serialised.
         """
-        if state.get("v") != _STATE_VERSION:
-            raise ValueError(f"unsupported BucketPredictor state version: {state.get('v')!r}")
+        version = state.get("v")
+        if version not in (1, _STATE_VERSION):
+            raise ValueError(f"unsupported BucketPredictor state version: {version!r}")
         predictor = cls(
             definition=FlowDefinition(state["definition"]),
             dns=dns,
             resolution=float(state["resolution"]),
             neighbor_bins=int(state["neighbor_bins"]),
+            track_packet_bins=bool(state.get("track_packet_bins", False)),
             obs=obs,
         )
         predictor._n_observed = int(state["n_observed"])
@@ -249,7 +404,10 @@ class BucketPredictor:
             last = encoded["last"]
             bucket.last_timestamp = None if last is None else float(last)
             bucket.iat_bins = {int(b): int(count) for b, count in encoded["bins"].items()}
-            bucket.packet_bins = [(int(i), int(b)) for i, b in encoded["packets"]]
+            if predictor.track_packet_bins:
+                bucket.packet_bins = [
+                    (int(i), int(b)) for i, b in encoded.get("packets", [])
+                ]
             predictor._buckets[decode_flow_key(encoded_key)] = bucket
         return predictor
 
@@ -265,51 +423,94 @@ def label_predictable(
 
     Returns one boolean per packet of ``trace`` (in timestamp order).
     A packet is predictable when the IAT bin linking it to the previous
-    packet of its bucket occurs **at least twice** anywhere in the trace;
-    both the earlier and later packets of a repeated IAT are marked, which
-    realises the paper's "previous or future" retroactivity.  The first
-    packet of a bucket is marked predictable when the bucket contains any
-    repeated IAT involving its successor, i.e. when the flow itself is
-    periodic from the start.
+    packet of its bucket occurs **at least twice** anywhere in the trace
+    (counting ±``neighbor_bins`` as the same bin); both the earlier and
+    later packets of a repeated IAT are marked, which realises the
+    paper's "previous or future" retroactivity.  The first packet of a
+    bucket is marked predictable when the bucket contains any repeated
+    IAT involving its successor, i.e. when the flow itself is periodic
+    from the start.
+
+    Runs on the shared vectorized core of :mod:`repro.stream.binmatch`
+    (one NumPy pass over the whole trace); pathological bin ranges fall
+    back to the scalar reference implementation.
     """
+    from ..stream.binmatch import (
+        KeyInterner,
+        chain_prev,
+        codes_safe,
+        neighbor_counts,
+        pair_codes,
+        quantize_iat_array,
+    )
+
     dns = dns if dns is not None else trace.dns
+    n = len(trace)
+    if n == 0:
+        return []
+
+    interner = KeyInterner(definition, dns)
+    intern = interner.intern
+    kids = np.fromiter((intern(p) for p in trace), dtype=np.int64, count=n)
+    timestamps = np.fromiter((p.timestamp for p in trace), dtype=np.float64, count=n)
+
+    prev_index, prev_ts = chain_prev(kids, timestamps)
+    has_prev = prev_index >= 0
+    bins = quantize_iat_array(timestamps - prev_ts, resolution)
+    if not codes_safe(kids[has_prev], bins[has_prev], neighbor_bins):
+        return _label_predictable_scalar(trace, definition, dns, resolution, neighbor_bins)
+
+    codes = pair_codes(kids[has_prev], bins[has_prev])
+    uniq_codes, counts = np.unique(codes, return_counts=True)
+    repeated = (
+        neighbor_counts(uniq_codes, counts, kids[has_prev], bins[has_prev], neighbor_bins)
+        >= 2
+    )
+
+    labels = np.zeros(n, dtype=bool)
+    marked = np.nonzero(has_prev)[0][repeated]
+    labels[marked] = True
+    # The predecessor packet participates in the same repeated IAT pair.
+    labels[prev_index[marked]] = True
+    return labels.tolist()
+
+
+def _label_predictable_scalar(
+    trace: Trace,
+    definition: FlowDefinition,
+    dns: Optional[DnsTable],
+    resolution: float,
+    neighbor_bins: int,
+) -> List[bool]:
+    """Scalar reference for :func:`label_predictable` (and its fallback)."""
     labels = [False] * len(trace)
 
-    # First pass: compute IAT bins per bucket.
+    # First pass: compute IAT bins per bucket, remembering each packet's
+    # within-bucket predecessor (only repeated-bin packets need it).
     last_seen: Dict[Tuple[Hashable, ...], Tuple[int, float]] = {}
-    bucket_packets: Dict[Tuple[Hashable, ...], List[int]] = defaultdict(list)
-    packet_bin: Dict[int, Tuple[Tuple[Hashable, ...], int]] = {}
+    packet_bin: Dict[int, Tuple[Tuple[Hashable, ...], int, int]] = {}
     bin_counts: Dict[Tuple[Hashable, ...], Dict[int, int]] = defaultdict(dict)
-
-    packet_pos: Dict[int, int] = {}
 
     for index, packet in enumerate(trace):
         key = flow_key(packet, definition, dns)
-        packet_pos[index] = len(bucket_packets[key])
-        bucket_packets[key].append(index)
-        if key in last_seen:
-            prev_index, prev_time = last_seen[key]
+        previous = last_seen.get(key)
+        if previous is not None:
+            prev_index, prev_time = previous
             iat_bin = quantize_iat(packet.timestamp - prev_time, resolution)
-            packet_bin[index] = (key, iat_bin)
+            packet_bin[index] = (key, iat_bin, prev_index)
             counts = bin_counts[key]
             counts[iat_bin] = counts.get(iat_bin, 0) + 1
         last_seen[key] = (index, packet.timestamp)
 
     # Second pass: a bin is "repeated" when, considering neighbour bins,
     # it was computed at least twice in its bucket.
-    def repeated(key: Tuple[Hashable, ...], iat_bin: int) -> bool:
+    for index, (key, iat_bin, prev_index) in packet_bin.items():
         counts = bin_counts[key]
         total = 0
         for delta in range(-neighbor_bins, neighbor_bins + 1):
             total += counts.get(iat_bin + delta, 0)
-        return total >= 2
-
-    for index, (key, iat_bin) in packet_bin.items():
-        if repeated(key, iat_bin):
+        if total >= 2:
             labels[index] = True
-            # The predecessor packet participates in the same IAT pair.
-            position = packet_pos[index]
-            if position > 0:
-                labels[bucket_packets[key][position - 1]] = True
+            labels[prev_index] = True
 
     return labels

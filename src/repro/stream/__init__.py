@@ -1,0 +1,28 @@
+"""Streaming proxy core: packet-at-a-time processing, vectorized hot paths.
+
+The package behind ``FiatConfig(streaming=True)``:
+
+* :mod:`~repro.stream.binmatch` — NumPy flow-bucket / IAT-bin primitives
+  shared by the engine, the bulk bootstrap learner and the offline
+  labelling pass (one bin-matching implementation for all three);
+* :mod:`~repro.stream.grouper` — incremental 5-second-gap event grouping
+  (events emitted as they close, flush at end of capture);
+* :mod:`~repro.stream.batch` — batched first-N event classification
+  (one ML predict call for many closed events);
+* :mod:`~repro.stream.engine` — the windowed engine wiring it all into
+  :class:`~repro.core.proxy.FiatProxy`, under the contract that the
+  decision log stays **byte-identical** to the scalar path.
+"""
+
+from .batch import classify_events_batch
+from .binmatch import KeyInterner, quantize_iat_array
+from .engine import StreamingEngine
+from .grouper import IncrementalEventGrouper
+
+__all__ = [
+    "StreamingEngine",
+    "IncrementalEventGrouper",
+    "classify_events_batch",
+    "KeyInterner",
+    "quantize_iat_array",
+]

@@ -1,0 +1,62 @@
+"""Batched event classification: many event prefixes, one predict call.
+
+The FIAT proxy classifies every unpredictable event's first-N packets.
+In the scalar path each event costs one
+:meth:`~repro.core.classifier.EventClassifier.classify_packets` call —
+one feature vector, one ``(1, 66)`` predict.  When the streaming engine
+has already buffered a window of packets it knows *all* the prefixes
+that will be classified inside the window, so it stacks their feature
+vectors and issues a single ``(n, 66)`` predict per device.
+
+Bit-equality: feature extraction and the scaler transform are
+element-wise, so rows of the stacked matrix are identical to the scalar
+vectors; :class:`~repro.ml.naive_bayes.BernoulliNB` evaluates row-wise
+matrix products whose per-row accumulation order matches the single-row
+case, so labels come out identical (pinned by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.classifier import EventClassifier
+from ..events.grouping import UnpredictableEvent
+from ..features.packet_features import event_features
+from ..net.packet import Packet
+
+__all__ = ["classify_events_batch"]
+
+
+def classify_events_batch(
+    classifier: EventClassifier,
+    prefixes: Sequence[Sequence[Packet]],
+) -> List[str]:
+    """Classify many event prefixes of one device in a single predict call.
+
+    Returns one ``control``/``automated``/``manual`` label per prefix,
+    identical to calling
+    :meth:`~repro.core.classifier.EventClassifier.classify_packets` on
+    each prefix individually.  Rule classifiers have no model to batch —
+    their per-prefix evaluation is a size comparison — so they loop.
+    """
+    if not prefixes:
+        return []
+    if classifier.rule is not None:
+        return [
+            "manual" if classifier.rule.is_manual_packets(prefix) else "automated"
+            for prefix in prefixes
+        ]
+    assert classifier.model is not None
+    rows = [
+        event_features(UnpredictableEvent(packets=list(prefix)), classifier.first_n)
+        for prefix in prefixes
+    ]
+    features = np.vstack(rows)
+    if classifier.scaler is not None:
+        features = classifier.scaler.transform(features)
+    labels = classifier.model.timed_predict(
+        features, obs=classifier.obs, device=classifier.device
+    )
+    return [str(label) for label in labels]

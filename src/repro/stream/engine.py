@@ -1,0 +1,566 @@
+"""Streaming proxy engine: windowed, vectorized packet processing.
+
+:class:`StreamingEngine` sits in front of a
+:class:`~repro.core.proxy.FiatProxy` and replaces its per-packet scalar
+hot path with a buffered one: packets are *fed* (cheap — a memoised
+flow-key intern and two list appends) and processed in windows, where
+the dominant costs collapse into NumPy batch operations — IAT
+quantisation and rule matching over the whole window at once
+(:mod:`repro.stream.binmatch`), bulk bootstrap learning
+(:meth:`~repro.predictability.buckets.BucketPredictor.observe_batch`)
+and one ML predict call per device per window for the unpredictable
+events decided inside it (:mod:`repro.stream.batch`).
+
+**Equivalence contract.**  At every *barrier* — any proxy operation that
+reads or mutates decision-relevant state (``flush``, ``snapshot``,
+``unlock``, ``receive_auth``, ``decision_log``, …) — the proxy's state
+is exactly what the scalar path would have produced from the same call
+sequence, and the decision log is byte-identical.  The engine earns
+this by construction:
+
+* flow keys are interned at **feed time**, so DNS-dependent PortLess
+  resolution happens at the same sequence point as the scalar path
+  (a DNS-table mutation between feeds force-flushes the buffer);
+* within a window, rule hits and event-path misses are separated by a
+  precomputed vector match that replays the scalar per-bucket
+  ``last_seen`` chains; misses then run through the *scalar* event
+  machinery in order, so grouping, classification breakers, humanness
+  checks, alerts and lockouts fire exactly as before;
+* anything the vector path cannot replicate exactly — configured rule
+  refresh, pre-start packets, active lockouts, a lockout triggered
+  mid-window, non-monotonic timestamps across the bootstrap boundary,
+  pathological bin ranges — falls back to the scalar
+  :meth:`~repro.core.proxy.FiatProxy.process` for (the rest of) the
+  window.
+
+Batched classification feeds the decision as a *hint*: the breaker
+bookkeeping in ``_classify_manual`` still runs per event at decide
+time, only the model inference itself is hoisted into the batch call.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from operator import attrgetter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import EventClassifier
+from ..core.proxy import PRE_START_TOLERANCE_S, FiatProxy
+from ..core.rules import RuleTable
+from ..net.packet import Direction, Packet
+from .batch import classify_events_batch
+from .binmatch import (
+    PAIR_SHIFT,
+    KeyInterner,
+    chain_prev,
+    codes_safe,
+    first_last_per_kid,
+    neighbor_any,
+    quantize_iat_array,
+)
+
+__all__ = ["StreamingEngine"]
+
+#: C-level attribute extractors for the bulk feed loop.
+_TS = attrgetter("timestamp")
+_RAW_CLASSIC = attrgetter("src_ip", "dst_ip", "src_port", "dst_port", "protocol", "size")
+_RAW_PORTLESS_SUB = attrgetter("src_ip", "dst_ip", "protocol", "size")
+
+
+class StreamingEngine:
+    """Windowed vectorized front-end for a :class:`FiatProxy`.
+
+    Parameters
+    ----------
+    proxy:
+        The proxy to drive.  The engine reaches into its internals by
+        design — it *is* the proxy's alternative hot path, attached via
+        :meth:`FiatProxy.attach_engine`.
+    window:
+        Packets buffered before a vectorized flush.  Any window size
+        (including 1) produces the same decision log; larger windows
+        amortise better.
+    """
+
+    def __init__(self, proxy: FiatProxy, window: int = 1024) -> None:
+        self.proxy = proxy
+        self.window = max(1, int(window))
+        dns = proxy._predictor.dns
+        self._dns = dns
+        self._dns_version = dns.version if dns is not None else 0
+        self._interner = KeyInterner(proxy.config.flow_definition, dns)
+        self._classic = self._interner._classic
+        self._packets: List[Packet] = []
+        self._kids: List[int] = []
+        self._ts: List[float] = []
+        # Direction-split PortLess memos for the bulk feed loop: keyed
+        # by a C-built (src_ip, dst_ip, protocol, size) subtuple, so a
+        # memo probe never hashes the Direction enum (whose Python-level
+        # __hash__ would run once per packet).  Pure caches over the
+        # interner — invalidated together with its memo on DNS change.
+        self._memo_out: Dict[Tuple, int] = {}
+        self._memo_in: Dict[Tuple, int] = {}
+        #: rule-code cache, keyed on (table identity, mutation counter)
+        self._cached_rules: Optional[RuleTable] = None
+        self._cached_mutations = -1
+        self._rule_kids = np.empty(0, dtype=np.int64)
+        self._rule_codes = np.empty(0, dtype=np.int64)
+        self._cache_safe = True
+
+    # -- feeding ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Packets buffered and not yet processed."""
+        return len(self._packets)
+
+    def feed(self, packet: Packet) -> None:
+        """Buffer one packet, flushing a full window."""
+        dns = self._dns
+        if dns is not None and dns.version != self._dns_version:
+            # Keys are resolved at feed time; packets already buffered
+            # were keyed under the old table and must be processed
+            # before any state derived from the new one.
+            if self._packets:
+                self.flush_pending()
+            self._dns_version = dns.version
+            self._interner.check_dns()
+            self._memo_out.clear()
+            self._memo_in.clear()
+        # Raw memo key built inline (see KeyInterner.raw) — this is the
+        # per-packet hot path and a method call per packet shows up.
+        if self._classic:
+            rk = (
+                packet.src_ip,
+                packet.dst_ip,
+                packet.src_port,
+                packet.dst_port,
+                packet.protocol,
+                packet.size,
+            )
+        else:
+            rk = (
+                packet.src_ip,
+                packet.dst_ip,
+                packet.direction is Direction.OUTBOUND,
+                packet.protocol,
+                packet.size,
+            )
+        interner = self._interner
+        kid = interner.memo.get(rk)
+        if kid is None:
+            kid = interner.intern_slow(packet, rk)
+        packets = self._packets
+        packets.append(packet)
+        self._kids.append(kid)
+        self._ts.append(packet.timestamp)
+        if len(packets) >= self.window:
+            self.flush_pending()
+
+    def feed_many(self, stream: Iterable[Packet]) -> None:
+        """Feed a packet iterable through a tight bulk loop.
+
+        Semantically ``for p in stream: self.feed(p)``, but chunked:
+        up-to-a-window slices are pulled with :func:`itertools.islice`
+        and appended to the buffers with C-speed ``extend``s, leaving
+        only the flow-key intern in the per-packet Python loop.  The DNS
+        version check runs once per chunk instead of once per packet —
+        equivalent, because nothing reachable from a window flush
+        mutates the DNS table, so the version can only change *between*
+        engine calls.
+        """
+        stream = iter(stream)
+        classic = self._classic
+        outbound = Direction.OUTBOUND
+        window = self.window
+        dns = self._dns
+        interner = self._interner
+        intern_slow = interner.intern_slow
+        raw_classic = _RAW_CLASSIC
+        raw_sub = _RAW_PORTLESS_SUB
+        ts_get = _TS
+        while True:
+            if dns is not None and dns.version != self._dns_version:
+                if self._packets:
+                    self.flush_pending()
+                self._dns_version = dns.version
+                interner.check_dns()
+                self._memo_out.clear()
+                self._memo_in.clear()
+            packets = self._packets
+            chunk = list(islice(stream, window - len(packets)))
+            if not chunk:
+                return
+            kids: List[int] = []
+            append_kid = kids.append
+            if classic:
+                # The classic raw key has no enum fields: probe the
+                # interner's memo directly with the C-built tuple.
+                memo_get = interner.memo.get
+                for packet in chunk:
+                    rk = raw_classic(packet)
+                    kid = memo_get(rk)
+                    if kid is None:
+                        kid = intern_slow(packet, rk)
+                    append_kid(kid)
+            else:
+                memo_out = self._memo_out
+                memo_in = self._memo_in
+                for packet in chunk:
+                    sub = raw_sub(packet)
+                    if packet.direction is outbound:
+                        kid = memo_out.get(sub)
+                        if kid is None:
+                            kid = intern_slow(
+                                packet, (sub[0], sub[1], True, sub[2], sub[3])
+                            )
+                            memo_out[sub] = kid
+                    else:
+                        kid = memo_in.get(sub)
+                        if kid is None:
+                            kid = intern_slow(
+                                packet, (sub[0], sub[1], False, sub[2], sub[3])
+                            )
+                            memo_in[sub] = kid
+                    append_kid(kid)
+            packets.extend(chunk)
+            self._kids.extend(kids)
+            self._ts.extend(map(ts_get, chunk))
+            if len(packets) >= window:
+                self.flush_pending()
+
+    def flush_pending(self) -> None:
+        """Process everything buffered (the proxy's barrier hook)."""
+        while self._packets:
+            packets = self._packets
+            kids = self._kids
+            ts = self._ts
+            self._packets = []
+            self._kids = []
+            self._ts = []
+            self._flush_window(packets, kids, ts)
+
+    # -- window processing --------------------------------------------------------
+
+    def _run_exact(self, packets: Sequence[Packet]) -> None:
+        """Scalar-process a span the vector path cannot handle."""
+        process = self.proxy.process
+        for packet in packets:
+            process(packet)
+
+    def _exact_span(
+        self,
+        packets: Sequence[Packet],
+        learned: Optional[np.ndarray],
+        start: int,
+    ) -> None:
+        """Scalar-process ``packets[start:]``, skipping already-learned ones.
+
+        Bulk-learned bootstrap packets were already observed *and*
+        tallied at learn time — in the scalar path they return straight
+        out of the learn branch, so replaying them through
+        :meth:`FiatProxy.process` would double-observe and double-count.
+        """
+        process = self.proxy.process
+        for j in range(start, len(packets)):
+            if learned is None or not learned[j]:
+                process(packets[j])
+
+    def _flush_window(
+        self, packets: List[Packet], kids: List[int], ts_list: List[float]
+    ) -> None:
+        proxy = self.proxy
+        if proxy.config.rule_refresh_s is not None:
+            # Refresh mode re-learns and mutates rules per packet —
+            # inherently sequential; the engine degrades to exact mode.
+            self._run_exact(packets)
+            return
+        n = len(packets)
+        ts = np.asarray(ts_list, dtype=np.float64)
+        if float(ts.min()) < proxy._start_time - PRE_START_TOLERANCE_S:
+            self._run_exact(packets)
+            return
+        if proxy._locked:
+            self._run_exact(packets)
+            return
+        kids_arr = np.asarray(kids, dtype=np.int64)
+        keys = self._interner.keys
+        boot_end = proxy._bootstrap_end
+        learned: Optional[np.ndarray] = None
+
+        if proxy._rules is None:
+            if float(ts.max()) < boot_end:
+                # Entirely inside the bootstrap window: bulk learn.
+                proxy._predictor.observe_batch(
+                    packets, kids=kids_arr, timestamps=ts, keys=keys
+                )
+                proxy.n_allowed += n
+                return
+            # Crossing the bootstrap boundary: the scalar path freezes
+            # rules at the first post-bootstrap packet, so the learn
+            # prefix must be exact — requires monotonic timestamps.
+            if np.any(np.diff(ts) < 0):
+                self._run_exact(packets)
+                return
+            split = int(np.searchsorted(ts, boot_end, side="left"))
+            if split:
+                proxy._predictor.observe_batch(
+                    packets[:split],
+                    kids=kids_arr[:split],
+                    timestamps=ts[:split],
+                    keys=keys,
+                )
+                proxy.n_allowed += split
+            proxy._rules = RuleTable.from_predictor(proxy._predictor)
+            proxy._next_refresh = None
+            if split == n:
+                return
+            match_idx = np.arange(split, n, dtype=np.int64)
+            if split:
+                learned = np.zeros(n, dtype=bool)
+                learned[:split] = True
+        else:
+            # Stragglers stamped inside the bootstrap window still take
+            # the scalar learn branch (timestamp check, not state check).
+            learn_mask = ts < boot_end
+            if learn_mask.any():
+                learn_idx = np.nonzero(learn_mask)[0]
+                proxy._predictor.observe_batch(
+                    [packets[int(i)] for i in learn_idx],
+                    kids=kids_arr[learn_idx],
+                    timestamps=ts[learn_idx],
+                    keys=keys,
+                )
+                proxy.n_allowed += len(learn_idx)
+                learned = learn_mask
+                match_idx = np.nonzero(~learn_mask)[0]
+            else:
+                match_idx = np.arange(n, dtype=np.int64)
+
+        if len(match_idx) == 0:
+            return
+        self._match_span(packets, kids_arr, ts, match_idx, learned)
+
+    def _match_span(
+        self,
+        packets: List[Packet],
+        kids_arr: np.ndarray,
+        ts: np.ndarray,
+        match_idx: np.ndarray,
+        learned: Optional[np.ndarray],
+    ) -> None:
+        """Vector rule matching + scalar miss walk for the match subset."""
+        proxy = self.proxy
+        rules = proxy._rules
+        assert rules is not None
+        k = kids_arr[match_idx]
+        t = ts[match_idx]
+
+        ok = self._ensure_rule_cache(rules)
+        if ok:
+            # Per-bucket IAT chains, carried in from the live table's
+            # last-seen map — exactly the scalar ``matches`` sequence.
+            _, prev_ts = chain_prev(k, t)
+            firsts = np.nonzero(np.isnan(prev_ts))[0]
+            if len(firsts):
+                keys = self._interner.keys
+                last_seen_get = rules._last_seen.get
+                prev_ts[firsts] = [
+                    _none_to_nan(last_seen_get(keys[int(k[i])])) for i in firsts
+                ]
+            no_last = np.isnan(prev_ts)
+            bins = quantize_iat_array(t - prev_ts, rules.resolution)
+            if not codes_safe(k, bins, rules.neighbor_bins):
+                ok = False
+        if not ok:
+            self._exact_span(packets, learned, 0)
+            return
+
+        in_rules = _sorted_member(self._rule_kids, k)
+        hit = in_rules & (
+            no_last | neighbor_any(self._rule_codes, k, bins, rules.neighbor_bins)
+        )
+        miss_pos = np.nonzero(~hit)[0]
+        if len(miss_pos) == 0:
+            self._apply_bulk(rules, k, t, hit, len(k))
+            return
+
+        hints = self._precompute_hints(packets, match_idx, miss_pos)
+        obs = proxy._obs
+        locked_at: Optional[int] = None
+        for j in miss_pos.tolist():
+            packet = packets[int(match_idx[j])]
+            proxy._process_unpredictable(
+                packet, packet.timestamp, packet.device, obs, hints.get(j)
+            )
+            if proxy._locked:
+                # A lockout invalidates every precomputed match after
+                # this point (locked devices drop before rule lookup):
+                # book the prefix, go exact for the rest of the window.
+                locked_at = j
+                break
+        if locked_at is None:
+            self._apply_bulk(rules, k, t, hit, len(k))
+        else:
+            self._apply_bulk(rules, k, t, hit, locked_at + 1)
+            self._exact_span(packets, learned, int(match_idx[locked_at]) + 1)
+
+    def _apply_bulk(
+        self,
+        rules: RuleTable,
+        k: np.ndarray,
+        t: np.ndarray,
+        hit: np.ndarray,
+        upto: int,
+    ) -> None:
+        """Book hit/miss counters and last-seen/last-hit maps for ``[:upto]``.
+
+        Misses' event-path effects were applied by the walk; this adds
+        the rule-table bookkeeping the scalar ``matches`` call would
+        have done per packet, collapsed to one write per bucket.
+        """
+        if upto == 0:
+            return
+        k = k[:upto]
+        t = t[:upto]
+        hit = hit[:upto]
+        n_hits = int(hit.sum())
+        rules.n_hits += n_hits
+        rules.n_misses += len(k) - n_hits
+        self.proxy.n_allowed += n_hits
+        keys = self._interner.keys
+        _bulk_last(rules._last_seen, keys, k, t)
+        if n_hits:
+            _bulk_last(rules._last_hit, keys, k[hit], t[hit])
+
+    # -- batched classification hints ---------------------------------------------
+
+    def _precompute_hints(
+        self,
+        packets: List[Packet],
+        match_idx: np.ndarray,
+        miss_pos: np.ndarray,
+    ) -> Dict[int, bool]:
+        """Predict per-miss classification outcomes, one model call per device.
+
+        Simulates the event grouping the miss walk is about to perform
+        (seeded from the proxy's open events) to find the packets that
+        will complete a decision prefix, then classifies all prefixes of
+        a device in one batched predict.  Only plain, model-backed
+        :class:`EventClassifier` instances are eligible — wrapped
+        (fault-injected) or rule classifiers classify inline, preserving
+        their scalar call sequence exactly.
+        """
+        proxy = self.proxy
+        if not any(
+            type(c) is EventClassifier and c.model is not None
+            for c in proxy.classifiers.values()
+        ):
+            # Rule-only (or wrapped/faulted) classifiers everywhere:
+            # nothing to batch, skip the per-miss grouping simulation.
+            return {}
+        gap = proxy.config.event_gap_s
+        by_device: Dict[str, List[Tuple[int, Packet]]] = {}
+        for j in miss_pos.tolist():
+            packet = packets[int(match_idx[j])]
+            by_device.setdefault(packet.device, []).append((j, packet))
+
+        hints: Dict[int, bool] = {}
+        for device, items in by_device.items():
+            classifier = proxy.classifiers.get(device)
+            if type(classifier) is not EventClassifier or classifier.model is None:
+                continue
+            prefix_n = proxy._decision_prefix(device)
+            open_event = proxy._open.get(device)
+            if open_event is not None and open_event.packets:
+                sim_packets: Optional[List[Packet]] = list(open_event.packets)
+                sim_decided = open_event.decided
+                last = open_event.last_time
+            else:
+                sim_packets = None
+                sim_decided = False
+                last = 0.0
+            candidates: List[Tuple[int, List[Packet]]] = []
+            for j, packet in items:
+                if sim_packets is None or packet.timestamp - last > gap:
+                    sim_packets = [packet]
+                    sim_decided = False
+                else:
+                    sim_packets.append(packet)
+                last = packet.timestamp
+                if not sim_decided and len(sim_packets) >= prefix_n:
+                    sim_decided = True
+                    candidates.append((j, sim_packets[:prefix_n]))
+            if not candidates:
+                continue
+            labels = classify_events_batch(
+                classifier, [prefix for _, prefix in candidates]
+            )
+            for (j, _), label in zip(candidates, labels):
+                hints[j] = label == "manual"
+        return hints
+
+    # -- rule-code cache ------------------------------------------------------------
+
+    def _ensure_rule_cache(self, rules: RuleTable) -> bool:
+        """(Re)build the sorted rule pair-code arrays; False = go exact.
+
+        Valid as long as the same table object has seen no mutations
+        (``merge``/``expire``/``add_rule`` bump a counter; ``restore``
+        swaps the object).  Rule keys are interned once — ids are stable
+        — so packets of never-ruled flows simply miss the sorted arrays.
+        """
+        if rules is self._cached_rules and rules._mutations == self._cached_mutations:
+            return self._cache_safe
+        interner = self._interner
+        kid_list: List[int] = []
+        codes: List[int] = []
+        safe = True
+        limit = PAIR_SHIFT - rules.neighbor_bins
+        for key, bins in rules._rules.items():
+            kid = interner.intern_key(key)
+            kid_list.append(kid)
+            for b in bins:
+                if b < 0 or b >= limit:
+                    safe = False
+                codes.append(kid * PAIR_SHIFT + b)
+        self._cached_rules = rules
+        self._cached_mutations = rules._mutations
+        self._cache_safe = safe
+        if safe:
+            self._rule_kids = np.unique(np.asarray(kid_list, dtype=np.int64))
+            self._rule_codes = np.unique(np.asarray(codes, dtype=np.int64))
+        return safe
+
+
+def _none_to_nan(value: Optional[float]) -> float:
+    return np.nan if value is None else value
+
+
+def _bulk_last(
+    target: Dict[Tuple, float], keys: List[Tuple], k: np.ndarray, t: np.ndarray
+) -> None:
+    """``target[key] = last t of key``, new keys in first-occurrence order.
+
+    The scalar path assigns per packet, so a dict's key order is the
+    order buckets were *first* written, while the stored value is the
+    *last* timestamp — both must be reproduced for serialised state
+    (snapshots) to stay byte-identical.
+    """
+    uniq, first, last = first_last_per_kid(k)
+    order = np.argsort(first, kind="stable")
+    uniq_o = uniq[order].tolist()
+    vals = t[last[order]].tolist()
+    for kid, v in zip(uniq_o, vals):
+        target[keys[kid]] = v
+
+
+def _sorted_member(sorted_values: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Membership of each target in a sorted unique int array."""
+    if len(sorted_values) == 0:
+        return np.zeros(len(targets), dtype=bool)
+    pos = np.searchsorted(sorted_values, targets)
+    pos_clipped = np.minimum(pos, len(sorted_values) - 1)
+    return (pos < len(sorted_values)) & (sorted_values[pos_clipped] == targets)

@@ -1,0 +1,80 @@
+"""Incremental unpredictable-event grouping.
+
+Streaming counterpart of :func:`repro.events.grouping.group_events`:
+instead of grouping a fully materialised trace in one pass, packets are
+fed one at a time and events are emitted the moment they *close* — when
+a later unpredictable packet of the same stream arrives more than
+``gap`` seconds after the event's last packet.  Events still open when
+the capture ends are surfaced by :meth:`IncrementalEventGrouper.flush`
+(the batch pass closes them implicitly by running out of packets).
+
+Equivalence contract: for any trace and mask, feeding the packets in
+order and collecting ``emitted + flush()``, sorted by event start, gives
+exactly the :func:`~repro.events.grouping.group_events` output — the
+same packets in the same events.  Emission order differs from the batch
+pass only in *when* an event becomes visible (batch sorts all events by
+start at the end; the stream emits each event at close time, which for
+interleaved devices is not globally start-ordered).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..events.grouping import EVENT_GAP_SECONDS, UnpredictableEvent
+from ..net.packet import Packet
+
+__all__ = ["IncrementalEventGrouper"]
+
+
+class IncrementalEventGrouper:
+    """Groups a stream of unpredictable packets into gap-separated events.
+
+    Parameters
+    ----------
+    gap:
+        Gap threshold in seconds closing an event (paper §3.2).
+    per_device:
+        When true (default), events never span devices — each device has
+        its own open event; when false a single cross-device stream is
+        grouped, mirroring ``group_events(per_device=False)``.
+    """
+
+    def __init__(self, gap: float = EVENT_GAP_SECONDS, per_device: bool = True) -> None:
+        self.gap = gap
+        self.per_device = per_device
+        self._open: Dict[str, UnpredictableEvent] = {}
+
+    @property
+    def open_events(self) -> List[UnpredictableEvent]:
+        """Currently open (not yet closed) events, in open order."""
+        return list(self._open.values())
+
+    def feed(self, packet: Packet) -> Optional[UnpredictableEvent]:
+        """Add one *unpredictable* packet; return the event it closed, if any.
+
+        Callers apply the predictability mask themselves (predictable
+        packets never reach the grouper — see :meth:`feed_masked`).  A
+        packet more than ``gap`` seconds after its stream's open event
+        closes that event (returned) and opens a new one; otherwise it
+        extends the open event and ``None`` is returned.
+        """
+        stream = packet.device if self.per_device else ""
+        current = self._open.get(stream)
+        if current is not None and packet.timestamp - current.end <= self.gap:
+            current.packets.append(packet)
+            return None
+        self._open[stream] = UnpredictableEvent(packets=[packet])
+        return current
+
+    def feed_masked(self, packet: Packet, predictable: bool) -> Optional[UnpredictableEvent]:
+        """:meth:`feed` gated on the packet's predictability flag."""
+        if predictable:
+            return None
+        return self.feed(packet)
+
+    def flush(self) -> List[UnpredictableEvent]:
+        """Close and return all open events (end of capture), in start order."""
+        remaining = sorted(self._open.values(), key=lambda e: e.start)
+        self._open.clear()
+        return remaining

@@ -89,3 +89,54 @@ class TestEventProperties:
         )
         assert len(event.first_n(5)) == 5
         assert len(event.first_n(20)) == 10
+
+
+class TestMajorityTieBreaking:
+    """Equal counts resolve by priority: attack > manual > automated > control."""
+
+    def _event(self, *classes):
+        return UnpredictableEvent(
+            packets=[make_packet(traffic_class=c) for c in classes]
+        )
+
+    def test_attack_beats_manual(self):
+        event = self._event(TrafficClass.MANUAL, TrafficClass.ATTACK)
+        assert event.majority_class() is TrafficClass.ATTACK
+
+    def test_manual_beats_automated(self):
+        event = self._event(TrafficClass.AUTOMATED, TrafficClass.MANUAL)
+        assert event.majority_class() is TrafficClass.MANUAL
+
+    def test_automated_beats_control(self):
+        event = self._event(TrafficClass.CONTROL, TrafficClass.AUTOMATED)
+        assert event.majority_class() is TrafficClass.AUTOMATED
+
+    def test_four_way_tie_picks_attack(self):
+        event = self._event(
+            TrafficClass.CONTROL,
+            TrafficClass.AUTOMATED,
+            TrafficClass.MANUAL,
+            TrafficClass.ATTACK,
+        )
+        assert event.majority_class() is TrafficClass.ATTACK
+
+    def test_majority_still_wins_over_priority(self):
+        event = self._event(
+            TrafficClass.CONTROL, TrafficClass.CONTROL, TrafficClass.ATTACK
+        )
+        assert event.majority_class() is TrafficClass.CONTROL
+
+
+class TestSingleStreamGrouping:
+    def test_per_device_false_merges_devices(self):
+        trace, mask = _trace_and_mask({"a": [0.0, 2.0], "b": [1.0, 3.0]})
+        merged = group_events(trace, mask, gap=5.0, per_device=False)
+        assert len(merged) == 1
+        assert len(merged[0]) == 4
+        split = group_events(trace, mask, gap=5.0, per_device=True)
+        assert [len(e) for e in split] == [2, 2]
+
+    def test_per_device_false_gap_still_splits(self):
+        trace, mask = _trace_and_mask({"a": [0.0], "b": [10.0]})
+        events = group_events(trace, mask, gap=5.0, per_device=False)
+        assert [e.device for e in events] == ["a", "b"]

@@ -131,3 +131,147 @@ class TestMaskMismatch:
 
         with pytest.raises(ValueError, match="mask length"):
             group_events(periodic_trace, [True])
+
+
+class TestQuantizeBinEdges:
+    def test_docstring_edge_pins(self):
+        # Rounds to *nearest* bin: 0.124 < res/2 stays in bin 0, 0.125
+        # lands exactly on the half-way edge and rounds up into bin 1.
+        assert quantize_iat(0.124) == 0
+        assert quantize_iat(0.125) == 1
+
+    def test_half_open_upper_edges(self):
+        # Bin k >= 1 covers ((k - 0.5) * res, (k + 0.5) * res].
+        assert quantize_iat(0.375) == 2
+        assert quantize_iat(0.3749999) == 1
+        assert quantize_iat(0.625) == 3
+
+
+def _random_packets(seed, n=500, n_flows=8):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    packets = []
+    for _ in range(n):
+        t += float(rng.choice([0.1, 0.25, 1.0, 7.5, 12.0]))
+        flow = int(rng.integers(n_flows))
+        packets.append(
+            make_packet(timestamp=t, size=100 + flow, dst_ip=f"172.1.2.{flow}")
+        )
+    return packets
+
+
+class TestObserveBatch:
+    def test_state_identical_to_scalar_observe(self):
+        import json
+
+        for seed in range(3):
+            packets = _random_packets(seed)
+            scalar = BucketPredictor()
+            for packet in packets:
+                scalar.observe(packet)
+            batched = BucketPredictor()
+            batched.observe_batch(packets)
+            # Unsorted dumps: bucket/bin *insertion order* must match too.
+            assert json.dumps(batched.to_state(), sort_keys=False) == json.dumps(
+                scalar.to_state(), sort_keys=False
+            ), seed
+
+    def test_chunked_batches_equal_one_batch(self):
+        import json
+
+        packets = _random_packets(9)
+        whole = BucketPredictor()
+        whole.observe_batch(packets)
+        chunked = BucketPredictor()
+        for i in range(0, len(packets), 37):
+            chunked.observe_batch(packets[i : i + 37])
+        assert json.dumps(chunked.to_state()) == json.dumps(whole.to_state())
+
+    def test_tracking_predictor_falls_back_to_scalar(self):
+        packets = _random_packets(1, n=60)
+        tracking = BucketPredictor(track_packet_bins=True)
+        tracking.observe_batch(packets)
+        reference = BucketPredictor(track_packet_bins=True)
+        for packet in packets:
+            reference.observe(packet)
+        assert tracking.to_state() == reference.to_state()
+
+
+class TestOnlineMemoryBounded:
+    def test_state_size_flat_over_long_run(self):
+        """The memory-leak regression: per-packet history must be opt-in.
+
+        A predictor fed 100k packets from a fixed set of flows and IATs
+        must serialise to exactly the same size as one fed 10k — the
+        online learner's state is O(buckets x bins), not O(packets).
+        """
+        import json
+
+        def state_size(n):
+            predictor = BucketPredictor()
+            predictor.observe_batch(_random_packets(3, n=1000) * (n // 1000))
+            return len(json.dumps(predictor.to_state()))
+
+        small, large = state_size(10_000), state_size(100_000)
+        # 10x the packets must not grow the state materially: only the
+        # bin *counters* and n_observed gain digits.  The pre-fix
+        # per-packet history would have grown this 10x.
+        assert large < small * 1.2
+
+    def test_tracking_opt_in_grows(self):
+        predictor = BucketPredictor(track_packet_bins=True)
+        packets = _random_packets(4, n=200)
+        for packet in packets:
+            predictor.observe(packet)
+        total_history = sum(
+            len(b.packet_bins) for b in predictor._buckets.values()
+        )
+        # One history entry per packet *with* a same-bucket predecessor.
+        assert total_history == len(packets) - predictor.n_buckets
+
+    def test_default_predictor_keeps_no_history(self):
+        predictor = BucketPredictor()
+        for packet in _random_packets(4, n=200):
+            predictor.observe(packet)
+        assert all(b.packet_bins == [] for b in predictor._buckets.values())
+
+
+class TestStateVersioning:
+    def _v1_state(self):
+        tracking = BucketPredictor(track_packet_bins=True)
+        for packet in _random_packets(6, n=120):
+            tracking.observe(packet)
+        state = tracking.to_state()
+        state["v"] = 1
+        del state["track_packet_bins"]  # v1 predates the flag
+        return state, tracking
+
+    def test_v1_state_lifts_as_non_tracking(self):
+        state, _ = self._v1_state()
+        lifted = BucketPredictor.from_state(state)
+        assert lifted.track_packet_bins is False
+        # The retroactive memory fix: v1 per-packet history is dropped.
+        assert all(b.packet_bins == [] for b in lifted._buckets.values())
+
+    def test_v1_lift_preserves_learning(self):
+        state, original = self._v1_state()
+        lifted = BucketPredictor.from_state(state)
+        assert lifted.recurring_buckets() == original.recurring_buckets()
+        assert lifted._n_observed == original._n_observed
+
+    def test_v2_round_trip_exact(self):
+        import json
+
+        predictor = BucketPredictor()
+        predictor.observe_batch(_random_packets(8, n=300))
+        state = predictor.to_state()
+        assert state["v"] == 2
+        assert json.dumps(BucketPredictor.from_state(state).to_state()) == json.dumps(
+            state
+        )
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="state version"):
+            BucketPredictor.from_state({"v": 99})

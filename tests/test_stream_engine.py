@@ -1,0 +1,199 @@
+"""Byte-equality tests for the streaming engine (repro.stream.engine).
+
+The streaming path's contract is not "approximately the same": the
+decision log must be **byte-identical** to the scalar path on the same
+input — across scenarios, window sizes, fault plans and mid-stream
+snapshot/restore.  Every test here compares serialized bytes, not
+summaries.
+"""
+
+import pytest
+
+from repro.core import (
+    FiatConfig,
+    FiatProxy,
+    FiatSystem,
+    HumanValidationService,
+    train_event_classifier,
+)
+from repro.crypto import pair
+from repro.faults import FaultPlan, OutageWindow
+from repro.sensors import HumannessValidator
+from repro.stream import StreamingEngine
+from repro.testbed import (
+    APP_PACKAGES,
+    Household,
+    HouseholdConfig,
+    TESTBED,
+    profile_for,
+)
+
+
+@pytest.fixture(scope="module")
+def household():
+    result = Household(
+        list(TESTBED), HouseholdConfig(duration_s=1800.0, seed=5)
+    ).simulate()
+    return result, list(result.trace)
+
+
+def _build_proxy(result, streaming, window=1024, bootstrap_s=600.0):
+    _, proxy_ks = pair("phone", "proxy")
+    classifiers = {}
+    for name in result.trace.devices():
+        profile = profile_for(name)
+        if profile.uses_simple_rules:
+            classifiers[name] = train_event_classifier(profile)
+    proxy = FiatProxy(
+        config=FiatConfig(
+            bootstrap_s=bootstrap_s, streaming=streaming, stream_window=window
+        ),
+        dns=result.cloud.dns,
+        classifiers=classifiers,
+        validation=HumanValidationService(
+            proxy_ks,
+            validator=HumannessValidator(n_train_per_class=60, seed=0).fit(),
+        ),
+        app_for_device=dict(APP_PACKAGES),
+    )
+    if streaming:
+        proxy.attach_engine(StreamingEngine(proxy, window=window))
+    return proxy
+
+
+def _run_scalar(result, packets, **kwargs):
+    proxy = _build_proxy(result, streaming=False, **kwargs)
+    for packet in packets:
+        proxy.process(packet)
+    proxy.flush()
+    return proxy
+
+
+class TestRunTraceEquality:
+    def test_household_trace_byte_identical(self, household):
+        result, packets = household
+        scalar = _run_scalar(result, packets)
+        streaming = _build_proxy(result, streaming=True)
+        streaming._engine.feed_many(packets)
+        streaming.flush()
+        assert streaming.decision_log() == scalar.decision_log()
+        assert (streaming.n_allowed, streaming.n_dropped) == (
+            scalar.n_allowed,
+            scalar.n_dropped,
+        )
+
+    def test_snapshot_state_byte_identical(self, household):
+        import json
+
+        result, packets = household
+        scalar = _run_scalar(result, packets)
+        streaming = _build_proxy(result, streaming=True)
+        streaming._engine.feed_many(packets)
+        streaming.flush()
+        assert json.dumps(streaming.snapshot(), sort_keys=False) == json.dumps(
+            scalar.snapshot(), sort_keys=False
+        )
+
+    @pytest.mark.parametrize("window", [1, 7, 64, 4096])
+    def test_window_size_invariant(self, household, window):
+        result, packets = household
+        subset = packets[:3000]
+        scalar = _run_scalar(result, subset)
+        streaming = _build_proxy(result, streaming=True, window=window)
+        streaming._engine.feed_many(subset)
+        streaming.flush()
+        assert streaming.decision_log() == scalar.decision_log(), window
+
+    def test_ingest_defers_and_barrier_drains(self, household):
+        result, packets = household
+        proxy = _build_proxy(result, streaming=True, window=4096)
+        for packet in packets[:100]:
+            assert proxy.ingest(packet) is None  # deferred, no verdict yet
+        assert proxy._engine.pending == 100
+        proxy.decision_log()  # a read barrier drains the window
+        assert proxy._engine.pending == 0
+
+    def test_mid_stream_snapshot_restore(self, household):
+        result, packets = household
+        scalar = _run_scalar(result, packets)
+
+        first = _build_proxy(result, streaming=True)
+        half = len(packets) // 2
+        first._engine.feed_many(packets[:half])
+        state = first.snapshot()
+
+        second = _build_proxy(result, streaming=True)
+        second.restore(state)
+        second._engine.feed_many(packets[half:])
+        second.flush()
+        assert second.decision_log() == scalar.decision_log()
+
+    def test_dns_mutation_mid_stream(self, household):
+        result, packets = household
+        half = len(packets) // 2
+
+        def run(streaming):
+            proxy = _build_proxy(result, streaming=streaming)
+            feed = (
+                proxy._engine.feed_many
+                if streaming
+                else lambda chunk: [proxy.process(p) for p in chunk]
+            )
+            feed(packets[:half])
+            result.cloud.dns.add_record("203.0.113.99", "late.example.com")
+            feed(packets[half:])
+            proxy.flush()
+            return proxy
+
+        try:
+            scalar = run(False)
+            streaming = run(True)
+        finally:
+            # Shared module-scope DNS table: leave no record behind.
+            del result.cloud.dns._ip_to_domain["203.0.113.99"]
+            result.cloud.dns.version += 2
+        assert streaming.decision_log() == scalar.decision_log()
+
+
+class TestSystemEquality:
+    """The config switch end-to-end: FiatSystem(streaming=True) vs scalar."""
+
+    DEVICES = ["EchoDot4", "SP10", "WyzeCam"]
+
+    def _logs(self, streaming, faults=None, seed=0):
+        system = FiatSystem(
+            self.DEVICES,
+            config=FiatConfig(bootstrap_s=0.0, streaming=streaming),
+            seed=seed,
+            n_training_events=120,
+        )
+        system.run_accuracy(
+            n_manual=10, n_non_manual=20, n_attacks=10, faults=faults
+        )
+        return system.proxy.decision_log()
+
+    def test_accuracy_run_byte_identical(self):
+        # EchoDot4/WyzeCam carry ML classifiers: this exercises the
+        # batched-classification hint path, not just rule matching.
+        assert self._logs(True) == self._logs(False)
+
+    def test_accuracy_run_under_faults_byte_identical(self):
+        plan = FaultPlan(
+            seed=11,
+            loss_rate=0.3,
+            duplicate_rate=0.1,
+            outages=(
+                OutageWindow("validation", 100.0, 300.0),
+                OutageWindow("classifier:EchoDot4", 50.0, 400.0),
+            ),
+        )
+        rerun = FaultPlan(
+            seed=11,
+            loss_rate=0.3,
+            duplicate_rate=0.1,
+            outages=(
+                OutageWindow("validation", 100.0, 300.0),
+                OutageWindow("classifier:EchoDot4", 50.0, 400.0),
+            ),
+        )
+        assert self._logs(True, faults=plan) == self._logs(False, faults=rerun)

@@ -1,0 +1,98 @@
+"""Unit tests for the incremental event grouper (repro.stream.grouper)."""
+
+import numpy as np
+
+from repro.events import EVENT_GAP_SECONDS
+from repro.events.grouping import _group_events
+from repro.net import Trace
+from repro.stream import IncrementalEventGrouper
+from tests.conftest import make_packet
+
+
+def _random_masked_trace(seed, n=300, n_devices=4):
+    rng = np.random.default_rng(seed)
+    packets, t = [], 0.0
+    for _ in range(n):
+        # Mix sub-gap and super-gap steps so events split and merge.
+        t += float(rng.choice([0.3, 1.5, 4.9, 5.0, 5.1, 12.0]))
+        packets.append(
+            make_packet(timestamp=t, device=f"dev{int(rng.integers(n_devices))}")
+        )
+    mask = rng.random(n) < 0.4  # predictable packets to skip
+    return Trace(packets), mask.tolist()
+
+
+def _feed_all(grouper, trace, mask):
+    closed = []
+    for packet, predictable in zip(trace, mask):
+        event = grouper.feed_masked(packet, predictable)
+        if event is not None:
+            closed.append(event)
+    return closed
+
+
+class TestIncrementalSemantics:
+    def test_event_emitted_when_gap_passes(self):
+        grouper = IncrementalEventGrouper(gap=5.0)
+        assert grouper.feed(make_packet(timestamp=0.0, device="d")) is None
+        assert grouper.feed(make_packet(timestamp=4.0, device="d")) is None
+        closed = grouper.feed(make_packet(timestamp=20.0, device="d"))
+        assert closed is not None and len(closed) == 2
+        assert closed.start == 0.0 and closed.end == 4.0
+
+    def test_boundary_gap_inclusive(self):
+        grouper = IncrementalEventGrouper(gap=5.0)
+        grouper.feed(make_packet(timestamp=0.0))
+        assert grouper.feed(make_packet(timestamp=5.0)) is None
+        assert grouper.feed(make_packet(timestamp=10.01)) is not None
+
+    def test_per_device_streams_independent(self):
+        grouper = IncrementalEventGrouper(gap=5.0, per_device=True)
+        grouper.feed(make_packet(timestamp=0.0, device="a"))
+        # A far-future packet of another device must not close "a".
+        assert grouper.feed(make_packet(timestamp=100.0, device="b")) is None
+        assert len(grouper.open_events) == 2
+
+    def test_single_stream_mode_merges_devices(self):
+        grouper = IncrementalEventGrouper(gap=5.0, per_device=False)
+        grouper.feed(make_packet(timestamp=0.0, device="a"))
+        assert grouper.feed(make_packet(timestamp=1.0, device="b")) is None
+        (event,) = grouper.flush()
+        assert len(event) == 2
+
+    def test_flush_sorts_by_start_and_clears(self):
+        grouper = IncrementalEventGrouper(gap=5.0)
+        grouper.feed(make_packet(timestamp=10.0, device="b"))
+        grouper.feed(make_packet(timestamp=3.0, device="a"))
+        events = grouper.flush()
+        assert [e.start for e in events] == [3.0, 10.0]
+        assert grouper.flush() == []
+        assert grouper.open_events == []
+
+    def test_default_gap_matches_paper(self):
+        assert IncrementalEventGrouper().gap == EVENT_GAP_SECONDS
+
+
+class TestEquivalenceWithBatchGrouping:
+    def test_randomized_traces_per_device(self):
+        for seed in range(5):
+            trace, mask = _random_masked_trace(seed)
+            grouper = IncrementalEventGrouper(gap=5.0, per_device=True)
+            incremental = _feed_all(grouper, trace, mask) + grouper.flush()
+            batch = _group_events(trace, mask, 5.0, True)
+            assert _shapes(incremental) == _shapes(batch), seed
+
+    def test_randomized_traces_single_stream(self):
+        for seed in range(5):
+            trace, mask = _random_masked_trace(seed)
+            grouper = IncrementalEventGrouper(gap=5.0, per_device=False)
+            incremental = _feed_all(grouper, trace, mask) + grouper.flush()
+            batch = _group_events(trace, mask, 5.0, False)
+            assert _shapes(incremental) == _shapes(batch), seed
+
+
+def _shapes(events):
+    """Comparable rendering: every packet timestamp of every event."""
+    return sorted(
+        tuple((p.device, p.timestamp) for p in event.packets) for event in events
+    )
