@@ -285,6 +285,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.machines > 1 or args.machine_faults:
+        return _run_fleet_distrib(args, source)
     try:
         runner = FleetRunner(
             source,
@@ -369,6 +371,96 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 1 if (args.strict and not report.ok) else 0
 
 
+def _emit_fleet_report(args: argparse.Namespace, report) -> None:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    print(report.render(top=args.top))
+    if args.out:
+        print(f"population report written to {args.out}")
+
+
+def _run_fleet_distrib(args: argparse.Namespace, source) -> int:
+    """The ``fleet --machines N`` path: the distributed coordinator."""
+    from .fleet import CheckpointMismatch, DistribCoordinator, DistribError
+    from .fleet.distrib import parse_machine_fault
+
+    if not args.state_dir:
+        print(
+            "fleet: --machines needs --state-dir (the coordinator ledger, "
+            "range dirs and machine telemetry live there)",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, reason in (
+        (args.watch, "--watch (use fleet-top against the same --state-dir)"),
+        (args.profile_slowest, "--profile-slowest"),
+        (args.retry_quarantined, "--retry-quarantined"),
+        (args.timeout, "--timeout"),
+    ):
+        if flag:
+            print(
+                f"fleet: {reason} is not supported with --machines", file=sys.stderr
+            )
+            return 2
+    try:
+        faults = [parse_machine_fault(text) for text in args.machine_faults]
+        coordinator = DistribCoordinator(
+            source,
+            state_dir=args.state_dir,
+            machines=args.machines,
+            jobs=args.jobs,
+            backend=args.backend,
+            resume=args.resume,
+            retries=args.retries,
+            backoff_base_s=args.backoff,
+            lease_timeout_s=args.lease_timeout,
+            heartbeat_interval_s=args.heartbeat_interval,
+            max_leases_per_range=args.max_leases,
+            machine_faults=faults,
+            state_root=args.state_root,
+        )
+    except ValueError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = coordinator.run()
+    except CheckpointMismatch as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    except DistribError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    _emit_fleet_report(args, report)
+    stats = coordinator.stats
+    print(
+        f"distributed over {stats['ranges']} range(s): "
+        f"{stats['leases_granted']} lease(s) granted, "
+        f"{stats['re_leases']} re-lease(s), "
+        f"{stats['rejected_submissions']} submission(s) rejected",
+        file=sys.stderr,
+    )
+    if not report.ok:
+        print(
+            f"{report.n_failed} of {report.n_homes} homes failed"
+            + (" (strict mode: failing)" if args.strict else ""),
+            file=sys.stderr,
+        )
+    return 1 if (args.strict and not report.ok) else 0
+
+
+def cmd_fleet_merge(args: argparse.Namespace) -> int:
+    from .fleet import SubmissionMismatch, merge_range_dirs
+
+    try:
+        report = merge_range_dirs(args.dirs)
+    except SubmissionMismatch as error:
+        print(f"fleet-merge: {error}", file=sys.stderr)
+        return 2
+    _emit_fleet_report(args, report)
+    return 1 if (args.strict and not report.ok) else 0
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
     import os
 
@@ -407,11 +499,22 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet_top(args: argparse.Namespace) -> int:
+    import os as _os
     import time as _time
 
-    from .fleet import FleetMonitor
+    from .fleet import FleetMonitor, MultiFleetMonitor, machine_telemetry_dirs
+    from .fleet.distrib import LEDGER_NAME
 
-    monitor = FleetMonitor(args.state_dir, stale_after_s=args.stale_after)
+    if _os.path.exists(_os.path.join(args.state_dir, LEDGER_NAME)):
+        # A distributed run: aggregate every machine's telemetry dir.  The
+        # dir set is re-resolved each poll so re-leases (new epochs) and
+        # fresh ranges appear without restarting the dashboard.
+        monitor = MultiFleetMonitor(
+            lambda: machine_telemetry_dirs(args.state_dir),
+            stale_after_s=args.stale_after,
+        )
+    else:
+        monitor = FleetMonitor(args.state_dir, stale_after_s=args.stale_after)
     while True:
         snapshot = monitor.poll()
         print(monitor.render(snapshot))
@@ -690,7 +793,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="after a clean run, re-run the slowest home under cProfile and "
         "write profile-<home>.prof/.txt into --state-dir",
     )
+    fleet.add_argument(
+        "--machines", type=int, default=1,
+        help="run the fleet on N simulated machines (subprocesses) under the "
+        "distributed coordinator; needs --state-dir (default: 1 = in-process)",
+    )
+    fleet.add_argument(
+        "--lease-timeout", dest="lease_timeout", type=float, default=15.0,
+        help="seconds without machine heartbeat frames before its range "
+        "lease is revoked and reassigned (default: 15)",
+    )
+    fleet.add_argument(
+        "--heartbeat-interval", dest="heartbeat_interval", type=float,
+        default=0.5,
+        help="seconds between machine heartbeat frames (default: 0.5)",
+    )
+    fleet.add_argument(
+        "--max-leases", dest="max_leases", type=int, default=6,
+        help="fail the run if any one range needs more than this many "
+        "leases (default: 6)",
+    )
+    fleet.add_argument(
+        "--machine-fault", dest="machine_faults", action="append", default=[],
+        metavar="KIND:RANGE[:AFTER[:DURATION[:EPOCH]]]",
+        help="inject a machine-level fault (kill|stall|drop) into the range's "
+        "machine after it completes AFTER homes in lease epoch EPOCH; "
+        "repeatable (chaos testing; the report bytes must not change)",
+    )
     fleet.set_defaults(func=cmd_fleet)
+
+    fleet_merge = sub.add_parser(
+        "fleet-merge",
+        help="exact-merge completed range dirs from a distributed fleet "
+        "into one population report",
+    )
+    fleet_merge.add_argument(
+        "dirs", nargs="+",
+        help="coordinator state dirs and/or individual range-NNNN dirs; "
+        "together they must tile the full spec",
+    )
+    fleet_merge.add_argument(
+        "--out", help="write the merged population report JSON here"
+    )
+    fleet_merge.add_argument(
+        "--top", type=int, default=5,
+        help="rows per section in the rendered report (default: 5)",
+    )
+    fleet_merge.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any merged home failed",
+    )
+    fleet_merge.set_defaults(func=cmd_fleet_merge)
 
     fleet_top = sub.add_parser(
         "fleet-top", help="live dashboard for a fleet state dir's telemetry"

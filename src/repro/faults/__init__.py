@@ -14,12 +14,13 @@ proxy decision logs.
 from .breaker import BreakerState, CircuitBreaker
 from .injectors import ComponentOutage, FlakyClassifier, FlakyValidationService
 from .link import Delivery, FaultyLink
-from .plan import CrashWindow, FaultPlan, OutageWindow
+from .plan import CrashWindow, FaultPlan, MachineFault, OutageWindow
 
 __all__ = [
     "FaultPlan",
     "OutageWindow",
     "CrashWindow",
+    "MachineFault",
     "FaultyLink",
     "Delivery",
     "CircuitBreaker",

@@ -20,7 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["OutageWindow", "CrashWindow", "FaultPlan"]
+__all__ = ["OutageWindow", "CrashWindow", "MachineFault", "FaultPlan"]
 
 #: Component name of the proxy-side humanness validation service.
 VALIDATION_COMPONENT = "validation"
@@ -89,6 +89,70 @@ class CrashWindow:
         return self.at + self.downtime_s
 
 
+#: Ways a fleet machine can misbehave (see :class:`MachineFault`).
+MACHINE_FAULT_KINDS = ("kill", "stall", "drop")
+
+
+@dataclass(frozen=True)
+class MachineFault:
+    """One scheduled failure of a distributed-fleet machine.
+
+    Consumed by :mod:`repro.fleet.distrib`: the machine wrapper arms the
+    fault when it holds lease ``epoch`` on range ``range_index`` and
+    fires it after logging ``after_homes`` home results this process
+    (``after_homes=0`` fires before the first home runs).
+
+    ``kind``
+        ``"kill"`` — SIGKILL the machine process (a powered-off box).
+        ``"stall"`` — freeze the machine (heartbeats included) for
+        ``duration_s`` seconds, then let it keep working as a zombie.
+        ``"drop"`` — network partition: the machine keeps working at
+        full speed but all its telemetry frames stop reaching the
+        coordinator, permanently.
+    """
+
+    kind: str
+    range_index: int
+    after_homes: int = 1
+    duration_s: float = 8.0
+    epoch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in MACHINE_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {MACHINE_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.range_index < 0:
+            raise ValueError(f"range_index must be >= 0, got {self.range_index}")
+        if self.after_homes < 0:
+            raise ValueError(f"after_homes must be >= 0, got {self.after_homes}")
+        if self.duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {self.duration_s}")
+        if self.epoch < 1:
+            raise ValueError(f"epoch must be >= 1, got {self.epoch}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the machine payload file."""
+        return {
+            "kind": self.kind,
+            "range_index": self.range_index,
+            "after_homes": self.after_homes,
+            "duration_s": self.duration_s,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineFault":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            range_index=int(data["range_index"]),
+            after_homes=int(data.get("after_homes", 1)),
+            duration_s=float(data.get("duration_s", 8.0)),
+            epoch=int(data.get("epoch", 1)),
+        )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A seeded, deterministic schedule of faults to inject.
@@ -137,6 +201,9 @@ class FaultPlan:
     #: Scheduled proxy crashes (kill/restart cycles) for the chaos
     #: harness; consumed by :func:`repro.recovery.chaos.chaos_sweep`.
     crashes: Tuple[CrashWindow, ...] = field(default_factory=tuple)
+    #: Scheduled distributed-fleet machine failures; consumed by the
+    #: :mod:`repro.fleet.distrib` machine wrapper.
+    machine_faults: Tuple[MachineFault, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         for name in ("loss_rate", "duplicate_rate", "corruption_rate", "sensor_dropout_rate"):
@@ -152,6 +219,8 @@ class FaultPlan:
             object.__setattr__(self, "outages", tuple(self.outages))
         if not isinstance(self.crashes, tuple):
             object.__setattr__(self, "crashes", tuple(self.crashes))
+        if not isinstance(self.machine_faults, tuple):
+            object.__setattr__(self, "machine_faults", tuple(self.machine_faults))
 
     @property
     def effective_ack_loss_rate(self) -> float:

@@ -25,7 +25,11 @@ Layering: ``spec`` (data, streaming) → ``worker`` (one home) →
 (durability) → ``aggregate`` (incremental population report) →
 ``telemetry`` (out-of-band progress frames + the live
 :class:`FleetMonitor` dashboard behind ``fiat-repro fleet --watch`` /
-``fleet-top``).
+``fleet-top``) → ``distrib`` (the multi-machine coordinator: leased
+contiguous home-ranges on machine subprocesses, epoch-fenced
+submissions, a CRC-framed ledger, and an exact spec-order merge that
+stays byte-identical to a single-machine run under machine kills,
+stalls, partitions, and coordinator crashes).
 Per-home seeds are hash-derived via :func:`repro.util.spawn_seed`,
 never ``seed + i`` offsets, so no two homes — and no two components
 within a home — share an RNG stream.  The aggregate report is
@@ -40,8 +44,24 @@ from .checkpoint import (
     ResumeState,
     load_latest_aggregate,
 )
+from .distrib import (
+    DistribCoordinator,
+    DistribError,
+    RangeSpecStream,
+    SubmissionMismatch,
+    machine_telemetry_dirs,
+    merge_range_dirs,
+    parse_machine_fault,
+    partition_ranges,
+)
 from .runner import BACKENDS, FleetInterrupted, FleetRunner
-from .telemetry import FleetMonitor, MonitorSnapshot, TelemetryWriter, telemetry_dir_for
+from .telemetry import (
+    FleetMonitor,
+    MonitorSnapshot,
+    MultiFleetMonitor,
+    TelemetryWriter,
+    telemetry_dir_for,
+)
 from .spec import (
     FleetSpec,
     HomeSpec,
@@ -59,6 +79,8 @@ from .worker import HomeResult, run_home
 __all__ = [
     "BACKENDS",
     "CheckpointMismatch",
+    "DistribCoordinator",
+    "DistribError",
     "FleetAggregator",
     "FleetCheckpoint",
     "FleetInterrupted",
@@ -68,19 +90,26 @@ __all__ = [
     "FleetSpec",
     "HomeResult",
     "MonitorSnapshot",
+    "MultiFleetMonitor",
     "TelemetryWriter",
     "HomeSpec",
     "JsonlSpecStream",
     "MemorySpecStream",
+    "RangeSpecStream",
     "ResumeState",
     "SampleReservoir",
     "SpecStream",
+    "SubmissionMismatch",
     "aggregate",
     "generate_fleet",
     "home_seed",
     "iter_generate_fleet",
     "load_latest_aggregate",
+    "machine_telemetry_dirs",
+    "merge_range_dirs",
     "open_spec",
+    "parse_machine_fault",
+    "partition_ranges",
     "percentile",
     "run_home",
     "telemetry_dir_for",

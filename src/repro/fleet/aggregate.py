@@ -221,6 +221,49 @@ class FleetAggregator:
 
     def add(self, idx: int, result: HomeResult) -> None:
         """Fold one result at spec position ``idx`` (spec order!)."""
+        self._fold(idx, result, fold_metrics=True)
+
+    def absorb_range(
+        self,
+        start_idx: int,
+        results: "Sequence[HomeResult]",
+        merge_tree_state: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Fold a contiguous result range, absorbing its metrics subtree.
+
+        The distributed-fleet merge step: ``results[k]`` is the result
+        for spec position ``start_idx + k``.  Rows, reservoirs, class
+        counts and alerts are re-folded here in spec order (the sample
+        reservoirs key replacement on the *global* fold count, so they
+        cannot be merged from per-range state), while the metrics union
+        arrives pre-reduced as ``merge_tree_state`` — the serialized
+        :class:`SnapshotMergeTree` the range's machine built over its
+        own ok results, absorbed wholesale.  Because the accumulator
+        merge is exact, absorbing per-range subtrees in spec order
+        yields bit-identical metrics to folding every home one by one.
+
+        Fail-closed: the shipped subtree must cover exactly the ok
+        results of the range, else :class:`ValueError`.  With
+        ``merge_tree_state=None`` the metrics are re-folded locally
+        (offline merges of raw results logs).
+        """
+        results = list(results)
+        tree: Optional[SnapshotMergeTree] = None
+        if merge_tree_state is not None:
+            tree = SnapshotMergeTree.from_state(merge_tree_state)
+            n_ok = sum(1 for result in results if result.ok)
+            if tree.n_shards != n_ok:
+                raise ValueError(
+                    f"range merge tree covers {tree.n_shards} ok shards, "
+                    f"but the range [{start_idx}, {start_idx + len(results)}) "
+                    f"has {n_ok}"
+                )
+        for offset, result in enumerate(results):
+            self._fold(start_idx + offset, result, fold_metrics=tree is None)
+        if tree is not None:
+            self.merge_tree.absorb(tree)
+
+    def _fold(self, idx: int, result: HomeResult, fold_metrics: bool) -> None:
         self.epoch += 1
         self.max_idx = max(self.max_idx, idx)
         if idx in self.failed_rows:  # quarantined home re-run: replace
@@ -244,7 +287,8 @@ class FleetAggregator:
             target["blocked"] += int(tally["blocked"])
         for kind, count in result.alerts.items():
             self.alerts[kind] = self.alerts.get(kind, 0) + int(count)
-        self.merge_tree.add(result.snapshot())
+        if fold_metrics:
+            self.merge_tree.add(result.snapshot())
 
     @property
     def merged(self) -> MetricsSnapshot:

@@ -62,7 +62,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Deque, Dict, Iterator, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, Iterator, Optional, Set, Tuple
 
 from ..util import spawn_seed
 from .aggregate import FleetAggregator, FleetReport
@@ -124,7 +124,9 @@ class FleetRunner:
         snapshot_every: int = 32,
         fsync: bool = False,
         telemetry: bool = True,
+        telemetry_dir: Optional[str] = None,
         profile_slowest: bool = False,
+        on_result: Optional[Callable[[int, HomeResult], None]] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -159,11 +161,17 @@ class FleetRunner:
         self.fsync = fsync
         # Telemetry is out-of-band by contract (reports byte-identical
         # with it on or off) and lives in the state dir — no state dir,
-        # no channel to tail, so it quietly stays off.
-        self.telemetry_dir = (
-            telemetry_dir_for(state_dir) if (state_dir and telemetry) else None
-        )
+        # no channel to tail, so it quietly stays off.  An explicit
+        # ``telemetry_dir`` overrides that default so state-dir-less
+        # runs (e.g. distributed-fleet machines) can still emit frames.
+        if telemetry_dir is not None:
+            self.telemetry_dir: Optional[str] = telemetry_dir if telemetry else None
+        else:
+            self.telemetry_dir = (
+                telemetry_dir_for(state_dir) if (state_dir and telemetry) else None
+            )
         self.profile_slowest = profile_slowest
+        self.on_result = on_result
         self._stop_requested = False
         self._next_idx = 0
         self._seen = 0
@@ -175,6 +183,20 @@ class FleetRunner:
         self._slowest: Optional[Tuple[float, HomeSpec]] = None
 
     # -- public API --------------------------------------------------------------
+
+    def mute_telemetry(self) -> None:
+        """Stop emitting telemetry frames, permanently, mid-run.
+
+        Models a network partition for distributed-fleet chaos tests:
+        the runner keeps working (report bytes are unaffected by
+        contract) but no further frames reach the channel, so a watcher
+        keyed on frame freshness sees the machine go dark.  Safe to
+        call before :meth:`run` or from an :attr:`on_result` hook.
+        """
+        writer, self._telemetry = self._telemetry, None
+        self.telemetry_dir = None
+        if writer is not None:
+            writer.close()
 
     def run(self) -> FleetReport:
         """Execute the fleet and return the aggregated population report.
@@ -380,6 +402,11 @@ class FleetRunner:
         result: HomeResult,
         home: Optional[HomeSpec] = None,
     ) -> None:
+        # The hook fires before the fold and checkpoint write so an
+        # external results log (distributed-fleet machines) always
+        # covers at least as much as any internal state does.
+        if self.on_result is not None:
+            self.on_result(idx, result)
         agg.add(idx, result)
         self._next_idx = max(self._next_idx, idx + 1)
         if checkpoint is not None:

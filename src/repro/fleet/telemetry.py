@@ -31,10 +31,11 @@ renders the ``fiat-repro fleet --watch`` / ``fleet-top`` dashboard.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..recovery.journal import frame_record, read_journal
 
@@ -48,8 +49,11 @@ __all__ = [
     "MonitorSnapshot",
     "PhaseDigest",
     "FleetMonitor",
+    "MultiFleetMonitor",
     "telemetry_dir_for",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Subdirectory of a fleet state dir holding the telemetry channels.
 TELEMETRY_DIRNAME = "telemetry"
@@ -140,14 +144,32 @@ def load_frames(directory: str) -> List[Dict[str, object]]:
 
     Stable order: sorted by wall timestamp, ties broken by channel name
     and in-file position so repeated polls of quiescent files agree.
+
+    Robust against a live, possibly dying producer: a directory (or
+    channel file) that disappears between the listing and the read, or
+    an entry that turns out not to be a readable file, is skipped with
+    a warning — a monitor poll must never traceback because the thing
+    it watches is being torn down.
     """
     stamped: List[Tuple[float, str, int, Dict[str, object]]] = []
-    if not os.path.isdir(directory):
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        # Not a directory, vanished mid-watch, or never created yet —
+        # all read as "no frames", which is the truth for a monitor.
         return []
-    for name in sorted(os.listdir(directory)):
+    for name in names:
         if not name.endswith(".jsonl"):
             continue
-        for position, frame in enumerate(read_frames(os.path.join(directory, name))):
+        path = os.path.join(directory, name)
+        try:
+            frames = read_frames(path)
+        except OSError as error:
+            logger.warning(
+                "telemetry channel %s unreadable (%s); skipping", path, error
+            )
+            continue
+        for position, frame in enumerate(frames):
             stamped.append((float(frame.get("t", 0.0)), name, position, frame))
     stamped.sort(key=lambda item: (item[0], item[1], item[2]))
     return [frame for _, _, _, frame in stamped]
@@ -239,8 +261,11 @@ class FleetMonitor:
     """
 
     def __init__(self, state_dir: str, stale_after_s: float = STALE_AFTER_S) -> None:
-        # Accept either the state dir or the telemetry dir itself.
-        if os.path.basename(state_dir.rstrip(os.sep)) == TELEMETRY_DIRNAME:
+        # Accept either the state dir or the telemetry dir itself (plain
+        # ``telemetry`` or a distrib machine's epoch-suffixed
+        # ``telemetry-NNNN``).
+        base = os.path.basename(state_dir.rstrip(os.sep))
+        if base == TELEMETRY_DIRNAME or base.startswith(TELEMETRY_DIRNAME + "-"):
             self.directory = state_dir
         else:
             self.directory = telemetry_dir_for(state_dir)
@@ -388,4 +413,128 @@ class FleetMonitor:
             lines.append(f"  slowest   {rows}")
         age = f"{snap.age_s:.1f}s" if snap.age_s is not None else "?"
         lines.append(f"  last frame {age} ago ({snap.n_frames} frames)")
+        return "\n".join(lines) + "\n"
+
+
+class MultiFleetMonitor:
+    """Aggregate :class:`FleetMonitor` views over many telemetry dirs.
+
+    The distributed-fleet dashboard: each machine writes frames into its
+    own per-lease telemetry dir, and the set of live dirs changes as
+    ranges are re-leased — so the watched dirs come from either a static
+    sequence or a discovery callable re-evaluated on every poll (e.g.
+    :func:`repro.fleet.distrib.machine_telemetry_dirs`).  Counters sum
+    across dirs, rates sum over the parts currently running, and the
+    merged status is the most urgent of the per-dir statuses (any stale
+    part makes the whole fleet STALE).  Like everything else here it is
+    advisory and read-only: dirs may vanish mid-poll without harm.
+    """
+
+    def __init__(
+        self,
+        dirs: Union[Sequence[str], Callable[[], Iterable[str]]],
+        stale_after_s: float = STALE_AFTER_S,
+    ) -> None:
+        self._dirs = dirs
+        self.stale_after_s = stale_after_s
+        #: per-dir snapshots of the last poll, for the renderer
+        self.parts: List[Tuple[str, MonitorSnapshot]] = []
+
+    def dirs(self) -> List[str]:
+        """The telemetry dirs watched right now."""
+        if callable(self._dirs):
+            return list(self._dirs())
+        return list(self._dirs)
+
+    def poll(self, now: Optional[float] = None) -> MonitorSnapshot:
+        """Poll every dir and merge the per-machine snapshots."""
+        now = time.time() if now is None else now
+        self.parts = [
+            (directory, FleetMonitor(directory, self.stale_after_s).poll(now))
+            for directory in self.dirs()
+        ]
+        merged = MonitorSnapshot()
+        statuses = set()
+        planned_known = False
+        for _, part in self.parts:
+            statuses.add(part.status)
+            merged.completed += part.completed
+            merged.ok += part.ok
+            merged.failed += part.failed
+            merged.retries += part.retries
+            merged.quarantined += part.quarantined
+            merged.resumed_from += part.resumed_from
+            merged.n_frames += part.n_frames
+            merged.n_runs += part.n_runs
+            merged.elapsed_s = max(merged.elapsed_s, part.elapsed_s)
+            if part.status == "running":
+                merged.homes_per_sec += part.homes_per_sec
+            if part.planned is not None:
+                planned_known = True
+                merged.planned = (merged.planned or 0) + part.planned
+            if part.age_s is not None:
+                merged.age_s = (
+                    part.age_s
+                    if merged.age_s is None
+                    else min(merged.age_s, part.age_s)
+                )
+            if not merged.fleet and part.fleet:
+                merged.fleet = part.fleet
+                merged.backend = part.backend
+            merged.jobs += part.jobs
+            for phase, digest in part.phases.items():
+                target = merged.phases.setdefault(phase, PhaseDigest())
+                target.n += digest.n
+                target.total_s += digest.total_s
+                target.max_s = max(target.max_s, digest.max_s)
+                target.samples.extend(digest.samples)
+            merged.slowest.extend(part.slowest)
+            merged.in_flight.extend(part.in_flight)
+        if not planned_known:
+            merged.planned = None
+        merged.slowest = sorted(merged.slowest, key=lambda row: -row[1])[:SLOWEST_ROWS]
+        merged.in_flight.sort(key=lambda row: row[2])
+        # Most-urgent-wins: one dark machine must surface even while
+        # the others hum along; "done" only when every part is done.
+        if "stale" in statuses:
+            merged.status = "stale"
+        elif "running" in statuses:
+            merged.status = "running"
+        elif "interrupted" in statuses:
+            merged.status = "interrupted"
+        elif statuses == {"done"}:
+            merged.status = "done"
+        elif "done" in statuses:
+            # Some ranges finished, others have not started yet.
+            merged.status = "running"
+        else:
+            merged.status = "idle"
+        if merged.status == "running" and merged.planned is not None:
+            remaining = merged.planned - merged.completed
+            if merged.homes_per_sec > 0:
+                merged.eta_s = remaining / merged.homes_per_sec
+        return merged
+
+    def render(self, snapshot: Optional[MonitorSnapshot] = None) -> str:
+        """The merged dashboard plus a one-line row per machine dir."""
+        snap = self.poll() if snapshot is None else snapshot
+        planned = str(snap.planned) if snap.planned is not None else "?"
+        lines = [
+            f"=== FIAT fleet monitor — {len(self.parts)} machine dir(s) ===",
+            f"  fleet {snap.fleet!r}   status {snap.status.upper()}   "
+            f"jobs {snap.jobs}   runs {snap.n_runs}",
+            f"  progress  {snap.completed}/{planned} homes   "
+            f"ok {snap.ok}  failed {snap.failed}  retries {snap.retries}  "
+            f"quarantined {snap.quarantined}",
+            f"  rate      {snap.homes_per_sec:.2f} homes/s   "
+            f"elapsed {_format_duration(snap.elapsed_s)}   "
+            f"ETA {_format_duration(snap.eta_s)}",
+        ]
+        for directory, part in self.parts:
+            age = f"{part.age_s:.1f}s" if part.age_s is not None else "?"
+            part_planned = str(part.planned) if part.planned is not None else "?"
+            lines.append(
+                f"    {part.status.upper():11s} {part.completed}/{part_planned:4s} "
+                f"last frame {age:>7s} ago  {directory}"
+            )
         return "\n".join(lines) + "\n"

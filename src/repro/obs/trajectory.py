@@ -107,6 +107,12 @@ TRACKED_METRICS: Dict[str, Dict[str, MetricSpec]] = {
         "peak_mb.10000": MetricSpec("lower", 0.50),
         "peak_growth_x": MetricSpec("lower", 0.25, floor=0.3),
     },
+    "fleet_distrib": {
+        "homes_per_sec": MetricSpec("higher", 0.40),
+        # Recovery cost is dominated by lease-timeout waits and machine
+        # restarts on a tiny fleet; the floor keeps CI jitter out.
+        "recovery_overhead_pct": MetricSpec("lower", 0.50, floor=50.0),
+    },
     "streaming": {
         "streaming_packets_per_s": MetricSpec("higher", 0.40),
         # Timing noise sits in both numerator and denominator; the hard

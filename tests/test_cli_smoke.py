@@ -42,6 +42,41 @@ def _trace(root):
     return str(root / "trace.jsonl")
 
 
+def _distrib_range_dir(root):
+    """A completed one-home range dir for the fleet-merge case.
+
+    Built on demand (in-process, no subprocess) so the case stays valid
+    under ``-k`` selection without depending on the fleet case's state.
+    """
+    range_dir = root / "merge-state" / "range-0000"
+    if not range_dir.exists():
+        from repro.fleet import generate_fleet, write_spec_jsonl
+        from repro.fleet.distrib import machine_seed, run_machine
+
+        spec = generate_fleet(
+            1, seed=0, n_manual=1, n_non_manual=2, n_attacks=1,
+            n_training_events=40,
+        )
+        spec_path = root / "merge-state" / "spec.jsonl"
+        spec_path.parent.mkdir(parents=True, exist_ok=True)
+        write_spec_jsonl(
+            str(spec_path), spec.homes, name=spec.name, seed=spec.seed,
+            n_homes=1,
+        )
+        assert run_machine(
+            {
+                "spec": str(spec_path),
+                "range_index": 0,
+                "start": 0,
+                "stop": 1,
+                "epoch": 1,
+                "range_dir": str(range_dir),
+                "machine_seed": machine_seed(spec.seed, 0, 1),
+            }
+        ) == 0
+    return str(range_dir)
+
+
 # Each case: (name, argv builder, output artifacts the command must create).
 CASES = [
     (
@@ -83,6 +118,14 @@ CASES = [
             "--spec-out", str(root / "fleet-spec.jsonl"),
         ],
         ["fleet-report.json", "fleet-spec.jsonl"],
+    ),
+    (
+        "fleet-merge",
+        lambda root: [
+            "fleet-merge", _distrib_range_dir(root),
+            "--out", str(root / "merged-report.json"),
+        ],
+        ["merged-report.json"],
     ),
     (
         # Against the fleet case's state dir when the full module ran;

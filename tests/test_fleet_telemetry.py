@@ -297,3 +297,92 @@ class TestLoadLatestAggregate:
     def test_missing_state_dir_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_latest_aggregate(str(tmp_path / "nope"))
+
+
+class TestMonitorHardening:
+    """A monitor must never traceback because its target is being torn down."""
+
+    def test_missing_dir_reads_as_idle(self, tmp_path):
+        monitor = FleetMonitor(str(tmp_path / "never-created"))
+        snap = monitor.poll()
+        assert snap.status == "idle"
+        assert snap.n_frames == 0
+
+    def test_directory_named_like_channel_is_skipped(self, finished_run):
+        state_dir, _, _ = finished_run
+        tdir = telemetry_dir_for(state_dir)
+        evil = os.path.join(tdir, "not-a-file.jsonl")
+        os.makedirs(evil, exist_ok=True)
+        try:
+            frames = load_frames(tdir)
+            assert frames  # the real channels still read
+            snap = FleetMonitor(state_dir).poll()
+            assert snap.status == "done"
+        finally:
+            os.rmdir(evil)
+
+    def test_truncated_channel_mid_watch(self, tmp_path, finished_run):
+        import shutil
+
+        state_dir, _, _ = finished_run
+        tdir = str(tmp_path / "telemetry")
+        shutil.copytree(telemetry_dir_for(state_dir), tdir)
+        victim = os.path.join(tdir, RUN_CHANNEL)
+        size = os.path.getsize(victim)
+        with open(victim, "r+b") as handle:
+            handle.truncate(size // 2)
+        # a torn frame ends the readable prefix; no traceback, no crash
+        snap = FleetMonitor(tdir).poll()
+        assert snap.n_frames >= 0
+
+    def test_epoch_suffixed_telemetry_dir_accepted(self, tmp_path):
+        # distrib machines write into telemetry-NNNN dirs; FleetMonitor
+        # must treat them as telemetry dirs, not state dirs
+        tdir = str(tmp_path / "telemetry-0003")
+        writer = TelemetryWriter(tdir, RUN_CHANNEL)
+        writer.emit({"kind": "run-start", "planned": 1, "jobs": 1, "fleet": "x"})
+        writer.close()
+        snap = FleetMonitor(tdir).poll()
+        assert snap.n_frames == 1
+
+
+class TestMultiFleetMonitor:
+    def test_sums_across_dirs(self, finished_run):
+        from repro.fleet import MultiFleetMonitor
+
+        state_dir, spec, _ = finished_run
+        tdir = telemetry_dir_for(state_dir)
+        monitor = MultiFleetMonitor([tdir, tdir])
+        snap = monitor.poll()
+        assert snap.status == "done"
+        assert snap.completed == 2 * len(spec.homes)
+        assert snap.planned == 2 * len(spec.homes)
+        assert len(monitor.parts) == 2
+        body = monitor.render(snap)
+        assert "2 machine dir(s)" in body
+        assert body.count(tdir) == 2
+
+    def test_vanished_dir_is_merged_as_idle(self, tmp_path, finished_run):
+        from repro.fleet import MultiFleetMonitor
+
+        state_dir, spec, _ = finished_run
+        tdir = telemetry_dir_for(state_dir)
+        missing = str(tmp_path / "gone")
+        monitor = MultiFleetMonitor([tdir, missing])
+        snap = monitor.poll()  # must not traceback
+        assert snap.completed == len(spec.homes)
+        # one range done, one not heard from: the fleet is not "done"
+        assert snap.status == "running"
+
+    def test_callable_dirs_reresolved_each_poll(self, finished_run):
+        from repro.fleet import MultiFleetMonitor
+
+        state_dir, _, _ = finished_run
+        tdir = telemetry_dir_for(state_dir)
+        dirs = [tdir]
+        monitor = MultiFleetMonitor(lambda: list(dirs))
+        assert len(monitor.poll().in_flight) == 0
+        assert len(monitor.parts) == 1
+        dirs.append(tdir)  # a re-lease appeared
+        monitor.poll()
+        assert len(monitor.parts) == 2
